@@ -1,0 +1,312 @@
+// Package agilefpga is a simulation library reproducing the FPGA-based
+// Agile Algorithm-On-Demand Co-Processor of Pradeep, Vinay, Burman and
+// Kamakoti (DATE 2005). It assembles a full virtual PCI card — a
+// partially reconfigurable FPGA fabric, a microcontroller running the
+// paper's mini OS (Free Frame List, Frame Replacement Table, LRU frame
+// replacement), a two-ended bitstream ROM with compressed configuration
+// images, staging RAM, and a transaction-level 32-bit/33 MHz PCI bus —
+// and executes any of a ten-function algorithm bank on demand, swapping
+// functions in and out of the fabric exactly as the paper describes.
+//
+// Quick start:
+//
+//	cp, err := agilefpga.New(agilefpga.Config{})
+//	if err != nil { ... }
+//	if err := cp.InstallAll(); err != nil { ... }
+//	res, err := cp.Call("aes128", plaintext)
+//	fmt.Println(res.Latency, res.Hit, res.Output)
+//
+// All timing is virtual (cycle-accurate cost models per clock domain), so
+// results are deterministic and independent of the machine running the
+// simulation.
+package agilefpga
+
+import (
+	"fmt"
+	"time"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/sim"
+)
+
+// Config selects the card's build options. The zero value is a sensible
+// default: a 48-frame device, framediff compression, LRU replacement,
+// scatter placement allowed.
+type Config struct {
+	// Rows and Cols size the fabric: Cols frames of Rows CLBs each.
+	// Zero selects 32×48.
+	Rows, Cols int
+	// ROMBytes and RAMBytes size the on-card memories (defaults 512 KiB
+	// and 64 KiB).
+	ROMBytes, RAMBytes int
+	// Codec picks the bitstream compression: "none", "rle", "lz77",
+	// "huffman" or "framediff" (default).
+	Codec string
+	// Policy picks frame replacement: "lru" (default, the paper's),
+	// "fifo", "lfu" or "random".
+	Policy string
+	// PolicySeed seeds the random policy.
+	PolicySeed uint64
+	// WindowBytes is the configuration module's decompression window
+	// (default 256).
+	WindowBytes int
+	// ContiguousOnly forbids non-contiguous frame placement.
+	ContiguousOnly bool
+	// DiffReload enables the difference-based reconfiguration flow:
+	// eviction leaves frame contents in place and a returning function
+	// whose frames are provably untouched re-activates without any
+	// reconfiguration.
+	DiffReload bool
+	// Prefetch enables configuration prefetching: the mini OS predicts
+	// the next function and loads it during host idle time.
+	Prefetch bool
+}
+
+// Function describes one member of the algorithm bank.
+type Function struct {
+	Name string
+	ID   uint16
+	// LUTs is the synthesis footprint; Frames its frame demand on the
+	// default geometry.
+	LUTs   int
+	Frames int
+	// BlockBytes is the natural input granule; inputs are zero-padded to
+	// a whole number of blocks.
+	BlockBytes int
+	// InBus and OutBus are the on-card data bus widths in bytes.
+	InBus, OutBus int
+}
+
+// ConvEncode runs the K=7 rate-1/2 convolutional encoder matching the
+// bank's viterbi decoder (8-info-byte block framing). Hosts encode in
+// software — it is cheap shift-register logic — and offload only the
+// decoder.
+func ConvEncode(info []byte) []byte { return algos.ConvEncode(info) }
+
+// Functions lists the algorithm bank.
+func Functions() []Function {
+	out := make([]Function, 0, 10)
+	for _, f := range algos.Bank() {
+		out = append(out, Function{
+			Name: f.Name(), ID: f.ID(), LUTs: f.LUTs,
+			Frames:     fpga.DefaultGeometry.FramesForLUTs(f.LUTs),
+			BlockBytes: f.BlockBytes, InBus: int(f.InBus), OutBus: int(f.OutBus),
+		})
+	}
+	return out
+}
+
+// Result reports one co-processor call.
+type Result struct {
+	// Output is the function's result.
+	Output []byte
+	// Latency is the full round-trip virtual time, PCI included.
+	Latency time.Duration
+	// Hit reports whether the function was already configured.
+	Hit bool
+	// Phases breaks the latency down by pipeline stage ("pci", "rom",
+	// "decompress", "configure", "datain", "exec", "dataout",
+	// "overhead").
+	Phases map[string]time.Duration
+}
+
+// Stats summarises card behaviour since construction (or ResetStats).
+type Stats struct {
+	Requests, Hits, Misses uint64
+	Evictions              uint64
+	FramesLoaded           uint64
+	RawConfigBytes         uint64
+	CompConfigBytes        uint64
+	HitRate                float64
+	// FramesSkipped counts frames revived by the difference-based flow.
+	FramesSkipped uint64
+	// Prefetches and PrefetchHits report the configuration prefetcher.
+	Prefetches   uint64
+	PrefetchHits uint64
+}
+
+// BatchResult reports a pipelined batch of calls (see CallBatch).
+type BatchResult struct {
+	Outputs [][]byte
+	// Latency is the batch completion time under double-buffered DMA.
+	Latency time.Duration
+	// SequentialLatency is the cost of the same items as one-at-a-time
+	// synchronous calls.
+	SequentialLatency time.Duration
+	// Hits counts items served without reconfiguration.
+	Hits int
+}
+
+// CoProcessor is a simulated agile algorithm-on-demand card.
+type CoProcessor struct {
+	inner *core.CoProcessor
+}
+
+// New assembles a card.
+func New(cfg Config) (*CoProcessor, error) {
+	var geom fpga.Geometry
+	if cfg.Rows != 0 || cfg.Cols != 0 {
+		geom = fpga.Geometry{Rows: cfg.Rows, Cols: cfg.Cols}
+	}
+	inner, err := core.New(core.Config{
+		Geometry:    geom,
+		ROMBytes:    cfg.ROMBytes,
+		RAMBytes:    cfg.RAMBytes,
+		WindowBytes: cfg.WindowBytes,
+		Codec:       cfg.Codec,
+		Policy:      cfg.Policy,
+		PolicySeed:  cfg.PolicySeed,
+		NoScatter:   cfg.ContiguousOnly,
+		DiffReload:  cfg.DiffReload,
+		Prefetch:    cfg.Prefetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CoProcessor{inner: inner}, nil
+}
+
+// Install provisions one bank function by name (synthesise → compress →
+// download into the card's ROM).
+func (cp *CoProcessor) Install(name string) error {
+	f, err := algos.ByName(name)
+	if err != nil {
+		return err
+	}
+	_, err = cp.inner.Install(f)
+	return err
+}
+
+// InstallAll provisions the entire algorithm bank.
+func (cp *CoProcessor) InstallAll() error {
+	_, err := cp.inner.InstallBank()
+	return err
+}
+
+// Call executes the named function on the card, configuring it on demand.
+func (cp *CoProcessor) Call(name string, input []byte) (*Result, error) {
+	r, err := cp.inner.Call(name, input)
+	if err != nil {
+		return nil, err
+	}
+	phases := make(map[string]time.Duration, sim.NumPhases)
+	for p := 0; p < sim.NumPhases; p++ {
+		if t := r.Breakdown.Get(sim.Phase(p)); t != 0 {
+			phases[sim.Phase(p).String()] = t.Duration()
+		}
+	}
+	return &Result{
+		Output:  r.Output,
+		Latency: r.Latency.Duration(),
+		Hit:     r.Hit,
+		Phases:  phases,
+	}, nil
+}
+
+// CallBatch executes the named function over every input through a
+// double-buffered DMA pipeline: the PCI bus streams the next item while
+// the card computes the current one. Outputs and card state match
+// issuing the calls one by one; only the latency model differs.
+func (cp *CoProcessor) CallBatch(name string, inputs [][]byte) (*BatchResult, error) {
+	r, err := cp.inner.CallBatch(name, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchResult{
+		Outputs:           r.Outputs,
+		Latency:           r.Latency.Duration(),
+		SequentialLatency: r.SequentialLatency.Duration(),
+		Hits:              r.Hits,
+	}, nil
+}
+
+// RunHost executes the same function in host software (the offload
+// baseline), returning the output and modelled host time.
+func (cp *CoProcessor) RunHost(name string, input []byte) ([]byte, time.Duration, error) {
+	out, t, err := cp.inner.RunHost(name, input)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, t.Duration(), nil
+}
+
+// Resident reports whether the named function currently occupies frames.
+func (cp *CoProcessor) Resident(name string) (bool, error) {
+	f, err := algos.ByName(name)
+	if err != nil {
+		return false, err
+	}
+	return cp.inner.Controller().Resident(f.ID()), nil
+}
+
+// Evict removes the named function from the fabric if resident.
+func (cp *CoProcessor) Evict(name string) (bool, error) {
+	f, err := algos.ByName(name)
+	if err != nil {
+		return false, err
+	}
+	return cp.inner.Controller().Evict(f.ID()), nil
+}
+
+// Utilization reports configured frames versus total.
+func (cp *CoProcessor) Utilization() (configured, total int) {
+	return cp.inner.Controller().Fabric().Utilization()
+}
+
+// Stats summarises card behaviour.
+func (cp *CoProcessor) Stats() Stats {
+	st := cp.inner.Stats()
+	hr := 0.0
+	if st.Requests > 0 {
+		hr = float64(st.Hits) / float64(st.Requests)
+	}
+	return Stats{
+		Requests: st.Requests, Hits: st.Hits, Misses: st.Misses,
+		Evictions: st.Evictions, FramesLoaded: st.FramesLoaded,
+		RawConfigBytes: st.RawConfigBytes, CompConfigBytes: st.CompConfigBytes,
+		HitRate:       hr,
+		FramesSkipped: st.FramesSkipped,
+		Prefetches:    st.Prefetches,
+		PrefetchHits:  st.PrefetchHits,
+	}
+}
+
+// ResetStats zeroes the counters; residency is unaffected.
+func (cp *CoProcessor) ResetStats() { cp.inner.ResetStats() }
+
+// ScrubReport summarises one SEU-scrubbing pass (see Scrub).
+type ScrubReport struct {
+	FramesChecked  int
+	FramesRepaired int
+	Time           time.Duration
+}
+
+// Scrub reads every resident function's frames back, compares them with
+// the ROM golden images, and rewrites any frame an upset corrupted — the
+// standard defence of partially reconfigurable systems against radiation.
+func (cp *CoProcessor) Scrub() (*ScrubReport, error) {
+	rep, err := cp.inner.Controller().Scrub()
+	if err != nil {
+		return nil, err
+	}
+	return &ScrubReport{
+		FramesChecked:  rep.FramesChecked,
+		FramesRepaired: rep.FramesRepaired,
+		Time:           rep.Time.Duration(),
+	}, nil
+}
+
+// CheckInvariants verifies the mini-OS bookkeeping (used by tests and
+// long-running examples).
+func (cp *CoProcessor) CheckInvariants() error {
+	return cp.inner.Controller().CheckInvariants()
+}
+
+// String identifies the card configuration.
+func (cp *CoProcessor) String() string {
+	return fmt.Sprintf("agile co-processor: %s, codec %s, policy %s",
+		cp.inner.Controller().Fabric().Geometry(), cp.inner.Codec().Name(),
+		cp.inner.Controller().PolicyName())
+}

@@ -1,0 +1,168 @@
+// agilesim drives the full co-processor with a synthetic request stream
+// and reports the mini OS's behaviour: hit rate, evictions, placement
+// mix, prefetcher and difference-flow activity, and the per-phase latency
+// profile. It is the scenario runner for exploring configurations beyond
+// the fixed experiments.
+//
+// Usage:
+//
+//	agilesim                                       # defaults
+//	agilesim -workload zipf -requests 5000
+//	agilesim -policy fifo -codec rle -cols 24 -no-scatter
+//	agilesim -prefetch -diff -sched window         # the full mini OS
+//	agilesim -trace run.jsonl                      # export the event log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/sched"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/trace"
+	"agilefpga/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 32, "fabric rows (CLBs per frame)")
+	cols := flag.Int("cols", 40, "fabric columns (frames)")
+	codec := flag.String("codec", "framediff", "bitstream codec: none|rle|lz77|huffman|framediff")
+	policy := flag.String("policy", "lru", "replacement policy: lru|fifo|lfu|random")
+	wname := flag.String("workload", "zipf", "request stream: uniform|zipf|phased|cyclic")
+	requests := flag.Int("requests", 2000, "number of requests")
+	payload := flag.Int("payload", 1024, "payload bytes per request (rounded up per function)")
+	seed := flag.Uint64("seed", 1234, "workload seed")
+	noScatter := flag.Bool("no-scatter", false, "contiguous-only placement")
+	diff := flag.Bool("diff", false, "difference-based reconfiguration flow")
+	prefetch := flag.Bool("prefetch", false, "configuration prefetching")
+	schedName := flag.String("sched", "fifo", "host queue scheduler: fifo|sticky|window")
+	tracePath := flag.String("trace", "", "write the event log as JSON lines to this file")
+	flag.Parse()
+
+	cp, err := core.New(core.Config{
+		Geometry:   fpga.Geometry{Rows: *rows, Cols: *cols},
+		Codec:      *codec,
+		Policy:     *policy,
+		NoScatter:  *noScatter,
+		DiffReload: *diff,
+		Prefetch:   *prefetch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var eventLog *trace.Log
+	if *tracePath != "" {
+		eventLog = &trace.Log{}
+		cp.SetTrace(eventLog)
+	}
+	if _, err := cp.InstallBank(); err != nil {
+		log.Fatal(err)
+	}
+
+	var ids []uint16
+	blockOf := make(map[uint16]int)
+	for _, f := range algos.Bank() {
+		ids = append(ids, f.ID())
+		blockOf[f.ID()] = f.BlockBytes
+	}
+	gen, err := workload.New(*wname, ids, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	picker, err := sched.New(*schedName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("device %s, codec %s, policy %s, workload %s, sched %s, %d requests of ~%d B",
+		fpga.Geometry{Rows: *rows, Cols: *cols}, *codec, *policy, *wname, *schedName, *requests, *payload)
+	if *diff {
+		fmt.Print(", diff-reload")
+	}
+	if *prefetch {
+		fmt.Print(", prefetch")
+	}
+	fmt.Print("\n\n")
+
+	jobs := make([]sched.Job, *requests)
+	for i := range jobs {
+		fn := gen.Next()
+		n := *payload
+		if blk := blockOf[fn]; n%blk != 0 {
+			n = (n/blk + 1) * blk
+		}
+		in := make([]byte, n)
+		in[0] = byte(i)
+		jobs[i] = sched.Job{Fn: fn, Input: in, Seq: i}
+	}
+
+	var total, worst sim.Time
+	resident := func() map[uint16]bool {
+		m := make(map[uint16]bool)
+		for _, fn := range cp.Controller().ResidentFunctions() {
+			m[fn] = true
+		}
+		return m
+	}
+	serve := func(j sched.Job) error {
+		res, err := cp.CallID(j.Fn, j.Input)
+		if err != nil {
+			return err
+		}
+		total += res.Latency
+		if res.Latency > worst {
+			worst = res.Latency
+		}
+		return nil
+	}
+	_, maxDisp, err := sched.Run(jobs, picker, resident, serve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cp.Controller().CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := cp.Stats()
+	fmt.Printf("requests        %d\n", st.Requests)
+	fmt.Printf("hit rate        %.3f  (%d hits / %d misses)\n",
+		float64(st.Hits)/float64(st.Requests), st.Hits, st.Misses)
+	fmt.Printf("evictions       %d\n", st.Evictions)
+	fmt.Printf("frames loaded   %d  (%d B raw config, %d B from ROM)\n",
+		st.FramesLoaded, st.RawConfigBytes, st.CompConfigBytes)
+	fmt.Printf("placements      %d contiguous / %d scattered\n",
+		st.ContigPlacements, st.ScatterPlacements)
+	if *diff {
+		fmt.Printf("frames revived  %d (difference flow)\n", st.FramesSkipped)
+	}
+	if *prefetch {
+		fmt.Printf("prefetches      %d issued, %d hits, %v off-request time\n",
+			st.Prefetches, st.PrefetchHits, st.PrefetchTime)
+	}
+	fmt.Printf("max overtaking  %d (scheduler %s)\n", maxDisp, *schedName)
+	fmt.Printf("mean latency    %v   worst %v\n",
+		sim.Time(uint64(total)/st.Requests), worst)
+	fmt.Printf("\nphase totals over the run:\n")
+	for p := 0; p < sim.NumPhases; p++ {
+		if t := st.Phases.Get(sim.Phase(p)); t != 0 {
+			fmt.Printf("  %-11s %v\n", sim.Phase(p), t)
+		}
+	}
+
+	if eventLog != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := eventLog.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d events to %s\n", eventLog.Len(), *tracePath)
+	}
+}

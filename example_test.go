@@ -1,0 +1,110 @@
+package agilefpga_test
+
+import (
+	"fmt"
+	"log"
+
+	"agilefpga"
+)
+
+// The basic on-demand flow: install the bank, call a function cold (the
+// card configures it), call again hot.
+func Example() {
+	cp, err := agilefpga.New(agilefpga.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cp.InstallAll(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := cp.Call("crc32", []byte{1, 2, 3, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crc=%x hit=%v\n", res.Output, res.Hit)
+	res, err = cp.Call("crc32", []byte{1, 2, 3, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hit=%v\n", res.Hit)
+	// Output:
+	// crc=cdfb3cb6 hit=false
+	// hit=true
+}
+
+// Batched calls pipeline the PCI bus against the card; results and card
+// state match one-at-a-time calls exactly.
+func ExampleCoProcessor_CallBatch() {
+	cp, err := agilefpga.New(agilefpga.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cp.Install("des"); err != nil {
+		log.Fatal(err)
+	}
+	batch, err := cp.CallBatch("des", [][]byte{
+		[]byte("block001"), []byte("block002"), []byte("block003"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outputs=%d hits=%d pipelined≤sequential=%v\n",
+		len(batch.Outputs), batch.Hits, batch.Latency <= batch.SequentialLatency)
+	// Output:
+	// outputs=3 hits=2 pipelined≤sequential=true
+}
+
+// The software baseline computes the same answers with a host cycle
+// model, for offload comparisons.
+func ExampleCoProcessor_RunHost() {
+	cp, err := agilefpga.New(agilefpga.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cp.Install("sha256"); err != nil {
+		log.Fatal(err)
+	}
+	in := make([]byte, 64)
+	card, err := cp.Call("sha256", in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	host, _, err := cp.RunHost("sha256", in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agree=%v digest=%d bytes\n",
+		string(card.Output) == string(host), len(card.Output))
+	// Output:
+	// agree=true digest=32 bytes
+}
+
+// Scrubbing reads resident frames back and compares them with the ROM
+// golden images — the SEU defence of experiment E14.
+func ExampleCoProcessor_Scrub() {
+	cp, err := agilefpga.New(agilefpga.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cp.Install("fir16"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cp.Call("fir16", []byte{1, 0, 2, 0}); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cp.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checked>0=%v repaired=%d\n", rep.FramesChecked > 0, rep.FramesRepaired)
+	// Output:
+	// checked>0=true repaired=0
+}
+
+// Functions enumerates the algorithm bank with footprints and framing.
+func ExampleFunctions() {
+	fns := agilefpga.Functions()
+	fmt.Printf("bank=%d first=%s frames=%d\n", len(fns), fns[0].Name, fns[0].Frames)
+	// Output:
+	// bank=16 first=aes128 frames=9
+}

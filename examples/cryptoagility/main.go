@@ -1,0 +1,122 @@
+// Crypto agility: the scenario that motivated the paper (its references
+// are an algorithm-agile crypto co-processor and an adaptive IPSec
+// engine). A gateway terminates several security associations, each
+// negotiated with a different suite — AES, DES, SHA-256 authentication,
+// and periodic Diffie-Hellman-style rekeying via modular exponentiation.
+// Traffic interleaves the suites, so the card keeps swapping algorithms
+// on demand; the run reports how the mini OS's LRU replacement copes and
+// what the offload buys over host software.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"agilefpga"
+)
+
+// sa is one security association: its cipher/auth suite and traffic share.
+type sa struct {
+	name   string
+	cipher string
+	weight int
+}
+
+func main() {
+	cp, err := agilefpga.New(agilefpga.Config{
+		// A smaller device than the default: the four suites need 34
+		// frames but only 28 fit, so rekeying always displaces a cipher
+		// — exactly when algorithm agility matters.
+		Rows: 32, Cols: 28,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fn := range []string{"aes128", "des", "sha256", "modexp64"} {
+		if err := cp.Install(fn); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sas := []sa{
+		{"legacy-partner", "des", 5},
+		{"monitoring", "sha256", 3},
+		{"branch-office", "aes128", 2},
+	}
+	fmt.Println("IPSec-style gateway over the agile co-processor")
+	fmt.Println(cp)
+
+	var cardTime, hostTime time.Duration
+	packets := 0
+	// Deterministic interleaving by weight; every 40 packets a rekey
+	// fires a burst of modular exponentiations.
+	seq := buildSchedule(sas, 200)
+	for i, suite := range seq {
+		payload := makePacket(i, 1024)
+		res, err := cp.Call(suite, payload)
+		if err != nil {
+			log.Fatalf("packet %d (%s): %v", i, suite, err)
+		}
+		cardTime += res.Latency
+		_, ht, err := cp.RunHost(suite, payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hostTime += ht
+		packets++
+
+		if i%10 == 9 { // rekey burst: 256 modexp records
+			rekey := makePacket(i, 256*24)
+			res, err := cp.Call("modexp64", rekey)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cardTime += res.Latency
+			_, ht, _ := cp.RunHost("modexp64", rekey)
+			hostTime += ht
+		}
+	}
+
+	st := cp.Stats()
+	fmt.Printf("\n%d packets + rekey bursts across %d suites\n", packets, len(sas)+1)
+	fmt.Printf("  hit rate        %.1f%%  (evictions: %d, frames loaded: %d)\n",
+		100*st.HitRate, st.Evictions, st.FramesLoaded)
+	fmt.Printf("  card time       %v\n", cardTime)
+	fmt.Printf("  host time       %v\n", hostTime)
+	fmt.Printf("  speedup         %.2fx\n", float64(hostTime)/float64(cardTime))
+	fmt.Println("\nNote: bulk AES alone is PCI-bound on a 32-bit/33 MHz bus; the win")
+	fmt.Println("comes from the rekey modexp bursts and DES legacy traffic — the")
+	fmt.Println("compute-dense work the paper's references built cards for.")
+
+	if err := cp.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildSchedule deals packets to suites proportionally to weight.
+func buildSchedule(sas []sa, n int) []string {
+	var seq []string
+	for len(seq) < n {
+		for _, s := range sas {
+			for k := 0; k < s.weight && len(seq) < n; k++ {
+				seq = append(seq, s.cipher)
+			}
+		}
+	}
+	return seq
+}
+
+// makePacket builds a deterministic pseudo-payload.
+func makePacket(seed, n int) []byte {
+	p := make([]byte, n)
+	x := uint64(seed)*2654435761 + 12345
+	for i := 0; i+8 <= n; i += 8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		binary.LittleEndian.PutUint64(p[i:], x)
+	}
+	return p
+}

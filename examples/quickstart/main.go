@@ -1,0 +1,60 @@
+// Quickstart: assemble the simulated co-processor card, provision the
+// algorithm bank into its ROM, and run a few functions on demand —
+// watching the first call of each pay for partial reconfiguration and
+// later calls hit the already-configured frames.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agilefpga"
+)
+
+func main() {
+	cp, err := agilefpga.New(agilefpga.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cp)
+
+	fmt.Println("\nAlgorithm bank:")
+	for _, f := range agilefpga.Functions() {
+		fmt.Printf("  %-11s %5d LUTs  %2d frames  block %4d B\n",
+			f.Name, f.LUTs, f.Frames, f.BlockBytes)
+	}
+
+	if err := cp.InstallAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	msg := []byte("the agile co-processor executes any banked function on demand")
+	for _, call := range []struct {
+		fn   string
+		note string
+	}{
+		{"sha256", "cold: pays ROM read + decompression + configuration"},
+		{"sha256", "hot: frames already configured"},
+		{"aes128", "cold: sha256 stays resident, aes gets its own frames"},
+		{"aes128", "hot"},
+	} {
+		res, err := cp.Call(call.fn, msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s (%s)\n  latency %-12v hit=%v\n  phases: %v\n",
+			call.fn, call.note, res.Latency, res.Hit, res.Phases)
+	}
+
+	// The same computation in host software, for comparison.
+	_, hostTime, err := cp.RunHost("sha256", msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhost software sha256 of the same input: %v\n", hostTime)
+
+	configured, total := cp.Utilization()
+	st := cp.Stats()
+	fmt.Printf("\nfabric: %d/%d frames configured; stats: %d requests, %.0f%% hits, %d evictions\n",
+		configured, total, st.Requests, 100*st.HitRate, st.Evictions)
+}

@@ -1,0 +1,3 @@
+module agilefpga
+
+go 1.22

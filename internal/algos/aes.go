@@ -1,0 +1,144 @@
+package algos
+
+import "sync"
+
+// AES-128 ECB encryption, implemented from first principles (the S-box is
+// derived from the GF(2⁸) inverse plus affine transform at init time
+// rather than typed in). The cipher key is fixed — on the real
+// co-processor it is baked into the configuration bitstream, which is
+// precisely what makes an algorithm-agile card attractive for key-fixed
+// appliance duty (cf. the paper's reference [2], an IPSec engine).
+
+// aesKey is the key embedded in the aes128 core's bitstream.
+var aesKey = [16]byte{'A', 'G', 'I', 'L', 'E', '-', 'A', 'E', 'S', '-', 'K', 'E', 'Y', '-', '1', '6'}
+
+var (
+	aesOnce   sync.Once
+	aesSbox   [256]byte
+	aesRoundK [11][16]byte
+)
+
+// gfMulByte multiplies two GF(2⁸) elements modulo the AES polynomial.
+func gfMulByte(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv is the multiplicative inverse in GF(2⁸) (0 maps to 0), by
+// exhaustion — it runs once.
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	for b := 1; b < 256; b++ {
+		if gfMulByte(a, byte(b)) == 1 {
+			return byte(b)
+		}
+	}
+	panic("algos: GF(2^8) inverse not found")
+}
+
+func aesInit() {
+	// S-box: affine transform of the field inverse.
+	for i := 0; i < 256; i++ {
+		x := gfInv(byte(i))
+		aesSbox[i] = x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+	}
+	// Key expansion (FIPS-197 §5.2) into 11 round keys.
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], aesKey[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			t[0], t[1], t[2], t[3] = aesSbox[t[1]]^rcon, aesSbox[t[2]], aesSbox[t[3]], aesSbox[t[0]]
+			rcon = gfMulByte(rcon, 2)
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-4][j] ^ t[j]
+		}
+	}
+	for r := 0; r < 11; r++ {
+		for c := 0; c < 4; c++ {
+			copy(aesRoundK[r][4*c:], w[4*r+c][:])
+		}
+	}
+}
+
+func rotl8(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+func aesEncryptBlock(dst, src []byte) {
+	var s [16]byte
+	copy(s[:], src)
+	xorKey := func(r int) {
+		for i := range s {
+			s[i] ^= aesRoundK[r][i]
+		}
+	}
+	subShift := func() {
+		// SubBytes + ShiftRows fused; state is column-major.
+		var t [16]byte
+		for c := 0; c < 4; c++ {
+			for r := 0; r < 4; r++ {
+				t[4*c+r] = aesSbox[s[4*((c+r)%4)+r]]
+			}
+		}
+		s = t
+	}
+	mix := func() {
+		for c := 0; c < 4; c++ {
+			a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+			s[4*c] = gfMulByte(a0, 2) ^ gfMulByte(a1, 3) ^ a2 ^ a3
+			s[4*c+1] = a0 ^ gfMulByte(a1, 2) ^ gfMulByte(a2, 3) ^ a3
+			s[4*c+2] = a0 ^ a1 ^ gfMulByte(a2, 2) ^ gfMulByte(a3, 3)
+			s[4*c+3] = gfMulByte(a0, 3) ^ a1 ^ a2 ^ gfMulByte(a3, 2)
+		}
+	}
+	xorKey(0)
+	for r := 1; r <= 9; r++ {
+		subShift()
+		mix()
+		xorKey(r)
+	}
+	subShift()
+	xorKey(10)
+	copy(dst, s[:])
+}
+
+var aesFn = &Function{
+	id:          IDAES128,
+	name:        "aes128",
+	LUTs:        2200, // iterative round datapath + key schedule storage
+	InBus:       16,
+	OutBus:      16,
+	BlockBytes:  16,
+	outPerBlock: 16,
+	hwSetup:     16, // pipeline fill
+	hwPerBlock:  3,  // four round units in parallel: a block every 3 cycles
+	swSetup:     400,
+	swPerByte:   30, // table-based software AES on a scalar host
+	run: func(in []byte) []byte {
+		aesOnce.Do(aesInit)
+		out := make([]byte, len(in))
+		for i := 0; i < len(in); i += 16 {
+			aesEncryptBlock(out[i:], in[i:])
+		}
+		return out
+	},
+}
+
+// AES128 is the AES-128 ECB encryption core.
+func AES128() *Function { return aesFn }

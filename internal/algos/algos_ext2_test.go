@@ -1,0 +1,144 @@
+package algos
+
+// Tests for MD5 and the 128-bit modular exponentiation core.
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/binary"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestMD5MatchesStdlib(t *testing.T) {
+	f := func(msg []byte) bool {
+		want := md5.Sum(msg)
+		return md5Digest(msg) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Known RFC 1321 vector on an exactly block-sized input via the
+	// Function (which digests the padded input).
+	in := []byte("abc")
+	padded := make([]byte, 64)
+	copy(padded, in)
+	want := md5.Sum(padded)
+	got, _ := MD5().Exec(in)
+	if !bytes.Equal(got, want[:]) {
+		t.Error("Function-level MD5 mismatch")
+	}
+}
+
+func TestMD5ConstantTableBitExact(t *testing.T) {
+	// The Taylor-derived constants must match the canonical first and
+	// last table entries from RFC 1321.
+	md5Once.Do(md5Init)
+	known := map[int]uint32{
+		0:  0xd76aa478,
+		1:  0xe8c7b756,
+		15: 0x49b40821,
+		31: 0x8d2a4c8a,
+		63: 0xeb86d391,
+	}
+	for i, want := range known {
+		if md5K[i] != want {
+			t.Errorf("K[%d] = %08x, want %08x", i, md5K[i], want)
+		}
+	}
+}
+
+func u128ToBig(v u128) *big.Int {
+	b := new(big.Int).SetUint64(v.hi)
+	b.Lsh(b, 64)
+	return b.Or(b, new(big.Int).SetUint64(v.lo))
+}
+
+func TestModExp128MatchesBig(t *testing.T) {
+	f := func(bl, bh, el, eh, ml, mh uint64) bool {
+		base := u128{bl, bh}
+		exp := u128{el, eh % 16} // bound the exponent's high limb to keep runtime sane
+		m := u128{ml, mh}
+		got := modExp128(base, exp, m)
+		if m.isZero() {
+			return got.isZero()
+		}
+		want := new(big.Int).Exp(u128ToBig(base), u128ToBig(exp), u128ToBig(m))
+		return u128ToBig(got).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModExp128KnownValues(t *testing.T) {
+	cases := []struct {
+		base, exp, mod, want uint64
+	}{
+		{2, 10, 1000, 24},
+		{3, 0, 7, 1},
+		{0, 5, 13, 0},
+		{7, 1, 13, 7},
+		{5, 3, 1, 0},
+	}
+	for _, c := range cases {
+		got := modExp128(u128{lo: c.base}, u128{lo: c.exp}, u128{lo: c.mod})
+		if got.lo != c.want || got.hi != 0 {
+			t.Errorf("%d^%d mod %d = %d, want %d", c.base, c.exp, c.mod, got.lo, c.want)
+		}
+	}
+}
+
+func TestModExp128ExecFraming(t *testing.T) {
+	in := make([]byte, 96) // two records
+	// Record 0: 2^10 mod 1000 = 24.
+	binary.LittleEndian.PutUint64(in[0:], 2)
+	binary.LittleEndian.PutUint64(in[16:], 10)
+	binary.LittleEndian.PutUint64(in[32:], 1000)
+	// Record 1: zero modulus → zero.
+	binary.LittleEndian.PutUint64(in[48:], 9)
+	binary.LittleEndian.PutUint64(in[64:], 9)
+	out, err := ModExp128().Exec(in)
+	if err != nil || len(out) != 32 {
+		t.Fatalf("out %d bytes, err %v", len(out), err)
+	}
+	if binary.LittleEndian.Uint64(out[0:]) != 24 {
+		t.Errorf("record 0 = %d", binary.LittleEndian.Uint64(out[0:]))
+	}
+	if binary.LittleEndian.Uint64(out[16:]) != 0 {
+		t.Errorf("record 1 = %d", binary.LittleEndian.Uint64(out[16:]))
+	}
+}
+
+func TestU128Arithmetic(t *testing.T) {
+	f := func(al, ah, bl, bh uint64) bool {
+		a, b := u128{al, ah}, u128{bl, bh}
+		ba, bb := u128ToBig(a), u128ToBig(b)
+		// add128 modulo 2^128
+		sum, _ := add128(a, b)
+		wantSum := new(big.Int).Add(ba, bb)
+		wantSum.Mod(wantSum, new(big.Int).Lsh(big.NewInt(1), 128))
+		if u128ToBig(sum).Cmp(wantSum) != 0 {
+			return false
+		}
+		// cmp matches big.Int
+		if cmp128(a, b) != ba.Cmp(bb) {
+			return false
+		}
+		// sub when a >= b
+		if ba.Cmp(bb) >= 0 {
+			if u128ToBig(sub128(a, b)).Cmp(new(big.Int).Sub(ba, bb)) != 0 {
+				return false
+			}
+		}
+		// shl1 modulo 2^128
+		sh, _ := shl1(a)
+		wantSh := new(big.Int).Lsh(ba, 1)
+		wantSh.Mod(wantSh, new(big.Int).Lsh(big.NewInt(1), 128))
+		return u128ToBig(sh).Cmp(wantSh) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

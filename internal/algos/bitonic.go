@@ -1,0 +1,59 @@
+package algos
+
+import "encoding/binary"
+
+// Bitonic sorting network over blocks of 256 uint32 (little-endian),
+// ascending. Sorting networks map beautifully onto fabric — the whole
+// compare-exchange schedule is fixed wiring — and terribly onto scalar
+// hosts, making this the paper's "computationally intensive function"
+// par excellence for data reorganisation.
+
+const bitonicN = 256
+
+func bitonicRun(in []byte) []byte {
+	const blockBytes = bitonicN * 4
+	out := make([]byte, len(in))
+	copy(out, in)
+	var v [bitonicN]uint32
+	for b := 0; b+blockBytes <= len(out); b += blockBytes {
+		for i := 0; i < bitonicN; i++ {
+			v[i] = binary.LittleEndian.Uint32(out[b+4*i:])
+		}
+		// Standard bitonic network: k = subsequence size, j = stride.
+		for k := 2; k <= bitonicN; k <<= 1 {
+			for j := k >> 1; j > 0; j >>= 1 {
+				for i := 0; i < bitonicN; i++ {
+					l := i ^ j
+					if l > i {
+						asc := i&k == 0
+						if (asc && v[i] > v[l]) || (!asc && v[i] < v[l]) {
+							v[i], v[l] = v[l], v[i]
+						}
+					}
+				}
+			}
+		}
+		for i := 0; i < bitonicN; i++ {
+			binary.LittleEndian.PutUint32(out[b+4*i:], v[i])
+		}
+	}
+	return out
+}
+
+var bitonicFn = &Function{
+	id:          IDBitonic,
+	name:        "bitonic256",
+	LUTs:        3600, // compare-exchange columns + block RAM glue
+	InBus:       4,
+	OutBus:      4,
+	BlockBytes:  bitonicN * 4,
+	outPerBlock: bitonicN * 4,
+	hwSetup:     36,  // network depth (one column per cycle)
+	hwPerBlock:  292, // 256 loads + 36 column passes per block
+	swSetup:     400,
+	swPerByte:   20, // comparison sort ≈ 20k host cycles per 1 KiB block
+	run:         bitonicRun,
+}
+
+// Bitonic is the 256-element bitonic sort core.
+func Bitonic() *Function { return bitonicFn }

@@ -1,0 +1,100 @@
+package algos
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// 64-point radix-2 decimation-in-time FFT over interleaved complex Q15
+// samples (re, im as signed 16-bit little-endian). The hardware core is a
+// streaming pipeline with one butterfly column per stage; fixed-point
+// scaling divides by 2 at every stage so the output cannot overflow.
+
+const fftPoints = 64
+
+var (
+	fftOnce sync.Once
+	fftTwRe [fftPoints / 2]int32 // Q14 twiddle factors
+	fftTwIm [fftPoints / 2]int32
+)
+
+func fftInit() {
+	for k := 0; k < fftPoints/2; k++ {
+		ang := -2 * math.Pi * float64(k) / fftPoints
+		fftTwRe[k] = int32(math.Round(math.Cos(ang) * 16384))
+		fftTwIm[k] = int32(math.Round(math.Sin(ang) * 16384))
+	}
+}
+
+// fftBlock transforms one 64-point block in place (Q15, scaled by 1/64).
+func fftBlock(re, im []int32) {
+	// Bit reversal.
+	for i, j := 0, 0; i < fftPoints; i++ {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+		m := fftPoints >> 1
+		for m >= 1 && j&m != 0 {
+			j ^= m
+			m >>= 1
+		}
+		j |= m
+	}
+	for size := 2; size <= fftPoints; size <<= 1 {
+		half := size >> 1
+		step := fftPoints / size
+		for start := 0; start < fftPoints; start += size {
+			for k := 0; k < half; k++ {
+				tw := k * step
+				i0, i1 := start+k, start+k+half
+				// Complex multiply by the Q14 twiddle.
+				tr := (re[i1]*fftTwRe[tw] - im[i1]*fftTwIm[tw]) >> 14
+				ti := (re[i1]*fftTwIm[tw] + im[i1]*fftTwRe[tw]) >> 14
+				// Butterfly with per-stage scaling (>>1) against overflow.
+				re[i1] = (re[i0] - tr) >> 1
+				im[i1] = (im[i0] - ti) >> 1
+				re[i0] = (re[i0] + tr) >> 1
+				im[i0] = (im[i0] + ti) >> 1
+			}
+		}
+	}
+}
+
+func fftRun(in []byte) []byte {
+	fftOnce.Do(fftInit)
+	const blockBytes = fftPoints * 4
+	out := make([]byte, len(in))
+	var re, im [fftPoints]int32
+	for b := 0; b+blockBytes <= len(in); b += blockBytes {
+		for i := 0; i < fftPoints; i++ {
+			re[i] = int32(int16(binary.LittleEndian.Uint16(in[b+4*i:])))
+			im[i] = int32(int16(binary.LittleEndian.Uint16(in[b+4*i+2:])))
+		}
+		fftBlock(re[:], im[:])
+		for i := 0; i < fftPoints; i++ {
+			binary.LittleEndian.PutUint16(out[b+4*i:], uint16(int16(re[i])))
+			binary.LittleEndian.PutUint16(out[b+4*i+2:], uint16(int16(im[i])))
+		}
+	}
+	return out
+}
+
+var fftFn = &Function{
+	id:          IDFFT,
+	name:        "fft64",
+	LUTs:        3000, // 6 butterfly stages + twiddle ROMs
+	InBus:       4,    // one complex sample
+	OutBus:      4,
+	BlockBytes:  fftPoints * 4,
+	outPerBlock: fftPoints * 4,
+	hwSetup:     24, // pipeline latency
+	hwPerBlock:  64, // streaming: one block every 64 cycles
+	swSetup:     300,
+	swPerByte:   8, // ~2k host cycles per 256-byte block
+	run:         fftRun,
+}
+
+// FFT is the 64-point fixed-point FFT core.
+func FFT() *Function { return fftFn }

@@ -1,0 +1,59 @@
+package algos
+
+import "encoding/binary"
+
+// 16-tap FIR low-pass filter over signed 16-bit little-endian samples in
+// Q15 fixed point. The hardware core is a fully unrolled transposed-form
+// MAC chain producing one sample per cycle; the software baseline does 16
+// multiply-accumulates per sample.
+
+// firCoeff is a 16-tap symmetric low-pass kernel in Q15.
+var firCoeff = [16]int32{
+	-120, -340, -510, -120, 1320, 3680, 6380, 8140,
+	8140, 6380, 3680, 1320, -120, -510, -340, -120,
+}
+
+func firFilter(in []byte) []byte {
+	n := len(in) / 2
+	samples := make([]int32, n)
+	for i := 0; i < n; i++ {
+		samples[i] = int32(int16(binary.LittleEndian.Uint16(in[2*i:])))
+	}
+	out := make([]byte, len(in))
+	for i := 0; i < n; i++ {
+		var acc int64
+		for t := 0; t < 16; t++ {
+			idx := i - t
+			if idx < 0 {
+				continue // zero initial state
+			}
+			acc += int64(samples[idx]) * int64(firCoeff[t])
+		}
+		y := acc >> 15 // Q15 renormalisation
+		if y > 32767 {
+			y = 32767
+		} else if y < -32768 {
+			y = -32768
+		}
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(int16(y)))
+	}
+	return out
+}
+
+var firFn = &Function{
+	id:          IDFIR,
+	name:        "fir16",
+	LUTs:        1000, // 16 MACs + delay line
+	InBus:       2,
+	OutBus:      2,
+	BlockBytes:  2, // one sample
+	outPerBlock: 2,
+	hwSetup:     16, // pipeline depth
+	hwPerBlock:  1,  // one sample per cycle
+	swSetup:     100,
+	swPerByte:   12, // ~24 host cycles per sample (16 MACs + loads)
+	run:         firFilter,
+}
+
+// FIR is the 16-tap Q15 FIR filter core.
+func FIR() *Function { return firFn }

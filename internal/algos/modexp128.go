@@ -1,0 +1,160 @@
+package algos
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// 128-bit modular exponentiation — the RSA/DH-class kernel one tier above
+// modexp64, implemented over two-limb arithmetic with a shift-and-add
+// modular multiplier (no big.Int; the tests cross-check against math/big
+// independently).
+//
+// Input blocks are 48-byte records: base, exponent, modulus as 128-bit
+// little-endian values; each output is the 16-byte result. A zero modulus
+// yields zero.
+
+// u128 is a two-limb little-endian unsigned integer.
+type u128 struct {
+	lo, hi uint64
+}
+
+func (a u128) isZero() bool { return a.lo == 0 && a.hi == 0 }
+
+// cmp128 returns -1, 0, +1 comparing a and b.
+func cmp128(a, b u128) int {
+	switch {
+	case a.hi != b.hi:
+		if a.hi < b.hi {
+			return -1
+		}
+		return 1
+	case a.lo != b.lo:
+		if a.lo < b.lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// add128 returns a+b and the carry out.
+func add128(a, b u128) (u128, uint64) {
+	lo, c := bits.Add64(a.lo, b.lo, 0)
+	hi, c := bits.Add64(a.hi, b.hi, c)
+	return u128{lo, hi}, c
+}
+
+// sub128 returns a-b (caller guarantees a >= b).
+func sub128(a, b u128) u128 {
+	lo, borrow := bits.Sub64(a.lo, b.lo, 0)
+	hi, _ := bits.Sub64(a.hi, b.hi, borrow)
+	return u128{lo, hi}
+}
+
+// shl1 returns a<<1 and the bit shifted out.
+func shl1(a u128) (u128, uint64) {
+	out := a.hi >> 63
+	return u128{a.lo << 1, a.hi<<1 | a.lo>>63}, out
+}
+
+// mod128 reduces a modulo m (m non-zero) assuming a < 2m is NOT
+// guaranteed; it subtracts while a >= m. Used only on inputs below 2m in
+// the hot path, so at most one iteration runs there.
+func mod128(a, m u128) u128 {
+	for cmp128(a, m) >= 0 {
+		a = sub128(a, m)
+	}
+	return a
+}
+
+// mulMod128 computes a*b mod m by shift-and-add: 128 iterations of
+// (acc<<1 + bit·a) mod m, each reduced by at most one subtraction — the
+// exact structure of the hardware's serial modular multiplier.
+func mulMod128(a, b, m u128) u128 {
+	a = mod128(a, m)
+	var acc u128
+	for i := 127; i >= 0; i-- {
+		shifted, carry := shl1(acc)
+		acc = shifted
+		if carry != 0 || cmp128(acc, m) >= 0 {
+			acc = sub128(acc, m)
+		}
+		var bit uint64
+		if i >= 64 {
+			bit = b.hi >> uint(i-64) & 1
+		} else {
+			bit = b.lo >> uint(i) & 1
+		}
+		if bit != 0 {
+			sum, c := add128(acc, a)
+			acc = sum
+			if c != 0 || cmp128(acc, m) >= 0 {
+				acc = sub128(acc, m)
+			}
+		}
+	}
+	return acc
+}
+
+func modExp128(base, exp, m u128) u128 {
+	if m.isZero() {
+		return u128{}
+	}
+	if m.lo == 1 && m.hi == 0 {
+		return u128{}
+	}
+	result := u128{lo: 1}
+	base = mod128(base, m)
+	for i := 0; i < 128; i++ {
+		var bit uint64
+		if i >= 64 {
+			bit = exp.hi >> uint(i-64) & 1
+		} else {
+			bit = exp.lo >> uint(i) & 1
+		}
+		if bit != 0 {
+			result = mulMod128(result, base, m)
+		}
+		base = mulMod128(base, base, m)
+	}
+	return result
+}
+
+func get128(p []byte) u128 {
+	return u128{binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint64(p[8:])}
+}
+
+func put128(p []byte, v u128) {
+	binary.LittleEndian.PutUint64(p, v.lo)
+	binary.LittleEndian.PutUint64(p[8:], v.hi)
+}
+
+var modexp128Fn = &Function{
+	id:          IDModExp128,
+	name:        "modexp128",
+	LUTs:        3200, // 128-bit serial modular multiplier + exponent control
+	InBus:       16,
+	OutBus:      16,
+	BlockBytes:  48,
+	outPerBlock: 16,
+	hwSetup:     12,
+	hwPerBlock:  400, // ~192 modmuls through a 2-cycle-II 128-bit serial unit
+	swSetup:     200,
+	swPerByte:   1400, // ~67k host cycles per record: 192 modmuls of
+	//              multi-precision shift-and-add on a 32-bit-era host
+	run: func(in []byte) []byte {
+		blocks := len(in) / 48
+		out := make([]byte, blocks*16)
+		for b := 0; b < blocks; b++ {
+			base := get128(in[48*b:])
+			exp := get128(in[48*b+16:])
+			m := get128(in[48*b+32:])
+			put128(out[16*b:], modExp128(base, exp, m))
+		}
+		return out
+	},
+}
+
+// ModExp128 is the 128-bit modular exponentiation core.
+func ModExp128() *Function { return modexp128Fn }

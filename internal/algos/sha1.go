@@ -1,0 +1,78 @@
+package algos
+
+import "encoding/binary"
+
+// SHA-1 from FIPS-180. Kept in the bank alongside SHA-256 because 2005
+// IPSec deployments authenticated with HMAC-SHA1; the hardware core
+// unrolls five rounds per cycle.
+
+func sha1Digest(msg []byte) [20]byte {
+	h := [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	bitLen := uint64(len(msg)) * 8
+	padded := append(append([]byte(nil), msg...), 0x80)
+	for len(padded)%64 != 56 {
+		padded = append(padded, 0)
+	}
+	var lenB [8]byte
+	binary.BigEndian.PutUint64(lenB[:], bitLen)
+	padded = append(padded, lenB[:]...)
+
+	rotl := func(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+	for blk := 0; blk < len(padded); blk += 64 {
+		var w [80]uint32
+		for i := 0; i < 16; i++ {
+			w[i] = binary.BigEndian.Uint32(padded[blk+4*i:])
+		}
+		for i := 16; i < 80; i++ {
+			w[i] = rotl(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+		}
+		a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+		for i := 0; i < 80; i++ {
+			var f, k uint32
+			switch {
+			case i < 20:
+				f, k = b&c|^b&d, 0x5A827999
+			case i < 40:
+				f, k = b^c^d, 0x6ED9EBA1
+			case i < 60:
+				f, k = b&c|b&d|c&d, 0x8F1BBCDC
+			default:
+				f, k = b^c^d, 0xCA62C1D6
+			}
+			t := rotl(a, 5) + f + e + k + w[i]
+			e, d, c, b, a = d, c, rotl(b, 30), a, t
+		}
+		h[0] += a
+		h[1] += b
+		h[2] += c
+		h[3] += d
+		h[4] += e
+	}
+	var out [20]byte
+	for i, v := range h {
+		binary.BigEndian.PutUint32(out[4*i:], v)
+	}
+	return out
+}
+
+var sha1Fn = &Function{
+	id:         IDSHA1,
+	name:       "sha1",
+	LUTs:       2400, // five unrolled rounds + message schedule
+	InBus:      8,
+	OutBus:     4,
+	BlockBytes: 64,
+	outFixed:   20,
+	hwSetup:    12,
+	hwPerBlock: 20, // 80 rounds at five per cycle
+	swSetup:    150,
+	swPerByte:  12,
+	run: func(in []byte) []byte {
+		d := sha1Digest(in)
+		return d[:]
+	},
+}
+
+// SHA1 is the SHA-1 digest core. Output is the 20-byte digest of the
+// block-padded input.
+func SHA1() *Function { return sha1Fn }

@@ -1,0 +1,156 @@
+package algos
+
+import "math/bits"
+
+// Hard-decision Viterbi decoder for the ubiquitous K=7, rate-1/2
+// convolutional code (generators 0o171 and 0o133 — Voyager/802.11/DVB).
+// Sixty-four add-compare-select units in fabric retire one trellis step
+// per cycle; the same trellis costs a scalar host hundreds of operations
+// per decoded bit, making Viterbi one of the most offloaded kernels of
+// the era.
+//
+// Framing: each input block is 16 bytes = 128 channel bits = 64 trellis
+// steps of 2 bits, decoding to 64 information bits = 8 output bytes. The
+// encoder starts each block in state 0; the decoder terminates at the
+// best end state (blocks are independent). The last 6 information bits
+// of a block are tail bits in a classic deployment; here all 64 are
+// decoded and verified by the round-trip tests.
+
+const (
+	vitK      = 7
+	vitStates = 1 << (vitK - 1) // 64
+	vitG1     = 0o171
+	vitG2     = 0o133
+	vitSteps  = 64 // trellis steps per block
+)
+
+// vitEncodeBits runs the convolutional encoder over info bits (MSB-first
+// per byte), returning two channel bits per info bit packed four symbol
+// pairs to a byte. The encoder restarts in state 0 every 8 info bytes,
+// matching the decoder's independent-block framing. Used by the tests
+// and the examples to produce decodable channel data.
+func vitEncodeBits(info []byte) []byte {
+	out := make([]byte, 0, len(info)*2)
+	state := 0 // six most recent bits
+	for n, b := range info {
+		if n%8 == 0 {
+			state = 0 // block boundary
+		}
+		for i := 7; i >= 0; i-- {
+			bit := int(b>>uint(i)) & 1
+			reg := bit<<6 | state // K=7 register: new bit + 6 state bits
+			c1 := bits.OnesCount(uint(reg&vitG1)) & 1
+			c2 := bits.OnesCount(uint(reg&vitG2)) & 1
+			out = append(out, byte(c1<<1|c2))
+			state = reg >> 1
+		}
+	}
+	// Pack 4 symbol pairs per byte, first pair in the high bits.
+	packed := make([]byte, (len(out)+3)/4)
+	for i, sym := range out {
+		packed[i/4] |= sym << uint(6-2*(i%4))
+	}
+	return packed
+}
+
+// vitDecodeBlock decodes one 16-byte channel block into 8 info bytes.
+//
+// State convention (matching the encoder): state = last six input bits
+// with the most recent in bit 5, so the transition on input bit b is
+// ns = b<<5 | s>>1. The top bit of any state is therefore the input bit
+// that produced it, and each state has exactly two predecessors,
+// (ns&31)<<1 and (ns&31)<<1|1 — the classic ACS butterfly.
+func vitDecodeBlock(dst, src []byte) {
+	const inf = 1 << 20
+	var metric [vitStates]int
+	for s := 1; s < vitStates; s++ {
+		metric[s] = inf // encoder starts in state 0
+	}
+	var survivors [vitSteps][vitStates]byte // low bit of the chosen predecessor
+
+	// expect[s][b]: channel symbol emitted when input b arrives in state s.
+	var expect [vitStates][2]byte
+	for s := 0; s < vitStates; s++ {
+		for b := 0; b < 2; b++ {
+			reg := b<<6 | s
+			c1 := bits.OnesCount(uint(reg&vitG1)) & 1
+			c2 := bits.OnesCount(uint(reg&vitG2)) & 1
+			expect[s][b] = byte(c1<<1 | c2)
+		}
+	}
+
+	for step := 0; step < vitSteps; step++ {
+		sym := src[step/4] >> uint(6-2*(step%4)) & 3
+		var next [vitStates]int
+		for ns := 0; ns < vitStates; ns++ {
+			b := ns >> 5 // the input bit every transition into ns carries
+			s0 := (ns & 31) << 1
+			s1 := s0 | 1
+			c0 := metric[s0] + hamming2(expect[s0][b], sym)
+			c1 := metric[s1] + hamming2(expect[s1][b], sym)
+			if c0 <= c1 {
+				next[ns] = c0
+				survivors[step][ns] = 0
+			} else {
+				next[ns] = c1
+				survivors[step][ns] = 1
+			}
+		}
+		metric = next
+	}
+
+	// Terminate at the best end state and trace back; the info bit of
+	// each step is the top bit of the state the path occupies after it.
+	best := 0
+	for s := 1; s < vitStates; s++ {
+		if metric[s] < metric[best] {
+			best = s
+		}
+	}
+	var info [vitSteps]byte
+	state := best
+	for step := vitSteps - 1; step >= 0; step-- {
+		info[step] = byte(state >> 5)
+		state = (state&31)<<1 | int(survivors[step][state])
+	}
+	for i := range dst[:vitSteps/8] {
+		dst[i] = 0
+	}
+	for i, b := range info {
+		dst[i/8] |= b << uint(7-i%8)
+	}
+}
+
+// hamming2 is the Hamming distance between two 2-bit symbols.
+func hamming2(a, b byte) int { return bits.OnesCount8((a ^ b) & 3) }
+
+var vitFn = &Function{
+	id:          IDViterbi,
+	name:        "viterbi",
+	LUTs:        4500, // 64 ACS butterflies + path memory
+	InBus:       4,
+	OutBus:      4,
+	BlockBytes:  16, // 128 channel bits
+	outPerBlock: 8,  // 64 info bits
+	hwSetup:     16,
+	hwPerBlock:  100, // one trellis step per cycle + traceback
+	swSetup:     500,
+	swPerByte:   800, // 64-state ACS sweep per pair of channel bits
+	run: func(in []byte) []byte {
+		blocks := len(in) / 16
+		out := make([]byte, blocks*8)
+		for b := 0; b < blocks; b++ {
+			vitDecodeBlock(out[b*8:], in[b*16:])
+		}
+		return out
+	},
+}
+
+// Viterbi is the K=7 rate-1/2 hard-decision Viterbi decoder core.
+func Viterbi() *Function { return vitFn }
+
+// ConvEncode runs the matching K=7 rate-1/2 convolutional encoder over
+// info bytes (restarting per 8-byte block, the decoder's framing). The
+// encoder is cheap shift-register logic the host runs in software; only
+// the decoder is worth offloading. Returned data feeds the viterbi core.
+func ConvEncode(info []byte) []byte { return vitEncodeBits(info) }

@@ -1,0 +1,189 @@
+// Package cluster dispatches requests across several co-processor cards
+// — the natural scale-out once one card's fabric cannot hold the working
+// set. Two placement strategies bracket the design space:
+//
+//   - replicate: every card carries the full bank in ROM; requests
+//     round-robin across cards. Each card still thrashes its fabric, but
+//     capacity multiplies.
+//   - partition: each function is pinned to one card, assignment chosen
+//     by greedy balance of frame demand. Once the per-card share fits
+//     the fabric, every request after warmup is a hit — reconfiguration
+//     disappears entirely.
+//
+// The dispatcher is host software: it routes by function id and keeps
+// per-card statistics. Cards are full core.CoProcessor instances, each
+// with its own PCI bus, microcontroller, ROM and fabric.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/core"
+	"agilefpga/internal/mcu"
+)
+
+// Modes.
+const (
+	ModeReplicate = "replicate"
+	ModePartition = "partition"
+)
+
+// Modes lists the dispatch strategies.
+func Modes() []string { return []string{ModeReplicate, ModePartition} }
+
+// Cluster is a set of cards behind one dispatcher.
+type Cluster struct {
+	cards []*core.CoProcessor
+	mode  string
+	// home maps function id → card index (partition mode).
+	home map[uint16]int
+	rr   int
+}
+
+// New builds a cluster of n cards sharing one configuration, provisioning
+// the whole algorithm bank according to mode.
+func New(n int, mode string, cfg core.Config) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one card, got %d", n)
+	}
+	cl := &Cluster{mode: mode, home: make(map[uint16]int)}
+	for i := 0; i < n; i++ {
+		cp, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cl.cards = append(cl.cards, cp)
+	}
+	switch mode {
+	case ModeReplicate:
+		for _, cp := range cl.cards {
+			if _, err := cp.InstallBank(); err != nil {
+				return nil, err
+			}
+		}
+		for _, f := range algos.Bank() {
+			cl.home[f.ID()] = -1 // any card
+		}
+	case ModePartition:
+		if err := cl.partition(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %q", mode)
+	}
+	return cl, nil
+}
+
+// partition assigns functions to cards by greedy frame-demand balancing
+// (largest demand first onto the least-loaded card) and installs each
+// function only on its home card.
+func (cl *Cluster) partition() error {
+	type item struct {
+		f      *algos.Function
+		demand int
+	}
+	geom := cl.cards[0].Controller().Fabric().Geometry()
+	items := make([]item, 0, algos.BankSize)
+	for _, f := range algos.Bank() {
+		items = append(items, item{f, geom.FramesForLUTs(f.LUTs)})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].demand != items[j].demand {
+			return items[i].demand > items[j].demand
+		}
+		return items[i].f.ID() < items[j].f.ID()
+	})
+	load := make([]int, len(cl.cards))
+	for _, it := range items {
+		best := 0
+		for c := 1; c < len(load); c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		if _, err := cl.cards[best].Install(it.f); err != nil {
+			return fmt.Errorf("cluster: installing %s on card %d: %w", it.f.Name(), best, err)
+		}
+		cl.home[it.f.ID()] = best
+		load[best] += it.demand
+	}
+	return nil
+}
+
+// Cards reports the cluster size.
+func (cl *Cluster) Cards() int { return len(cl.cards) }
+
+// Mode reports the dispatch strategy.
+func (cl *Cluster) Mode() string { return cl.mode }
+
+// Home reports the card a function is pinned to (-1 = any, replicate
+// mode; -2 = unknown function).
+func (cl *Cluster) Home(fn uint16) int {
+	h, ok := cl.home[fn]
+	if !ok {
+		return -2
+	}
+	return h
+}
+
+// ErrUnknownFunction reports a request for a function no card carries.
+var ErrUnknownFunction = errors.New("cluster: function not provisioned on any card")
+
+// Call routes one request, returning the result and the card that served
+// it.
+func (cl *Cluster) Call(fnID uint16, input []byte) (*core.CallResult, int, error) {
+	home, ok := cl.home[fnID]
+	if !ok {
+		return nil, -1, fmt.Errorf("%w: id %d", ErrUnknownFunction, fnID)
+	}
+	card := home
+	if home < 0 { // replicate: round-robin
+		card = cl.rr
+		cl.rr = (cl.rr + 1) % len(cl.cards)
+	}
+	res, err := cl.cards[card].CallID(fnID, input)
+	return res, card, err
+}
+
+// Stats aggregates card statistics and reports per-card load balance.
+type Stats struct {
+	Total mcu.Stats
+	// PerCardRequests exposes the balance the dispatcher achieved.
+	PerCardRequests []uint64
+	// HitRate over the whole cluster.
+	HitRate float64
+}
+
+// Stats aggregates over all cards.
+func (cl *Cluster) Stats() Stats {
+	var out Stats
+	for _, cp := range cl.cards {
+		st := cp.Stats()
+		out.PerCardRequests = append(out.PerCardRequests, st.Requests)
+		out.Total.Requests += st.Requests
+		out.Total.Hits += st.Hits
+		out.Total.Misses += st.Misses
+		out.Total.Evictions += st.Evictions
+		out.Total.FramesLoaded += st.FramesLoaded
+		out.Total.RawConfigBytes += st.RawConfigBytes
+		out.Total.CompConfigBytes += st.CompConfigBytes
+		out.Total.Phases.AddAll(st.Phases)
+	}
+	if out.Total.Requests > 0 {
+		out.HitRate = float64(out.Total.Hits) / float64(out.Total.Requests)
+	}
+	return out
+}
+
+// CheckInvariants verifies every card's mini-OS bookkeeping.
+func (cl *Cluster) CheckInvariants() error {
+	for i, cp := range cl.cards {
+		if err := cp.Controller().CheckInvariants(); err != nil {
+			return fmt.Errorf("cluster: card %d: %w", i, err)
+		}
+	}
+	return nil
+}

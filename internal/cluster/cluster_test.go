@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+)
+
+func smallCfg() core.Config {
+	return core.Config{Geometry: fpga.Geometry{Rows: 32, Cols: 40}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, ModeReplicate, smallCfg()); err == nil {
+		t.Error("zero cards accepted")
+	}
+	if _, err := New(2, "sharded", smallCfg()); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestReplicateRoundRobin(t *testing.T) {
+	cl, err := New(3, ModeReplicate, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cards() != 3 || cl.Mode() != ModeReplicate {
+		t.Fatal("wrong shape")
+	}
+	f := algos.CRC32()
+	in := []byte{1, 2, 3, 4}
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		res, card, err := cl.Call(f.ID(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := f.Exec(in)
+		if !bytes.Equal(res.Output, want) {
+			t.Fatal("wrong output")
+		}
+		seen[card]++
+	}
+	for c := 0; c < 3; c++ {
+		if seen[c] != 3 {
+			t.Errorf("card %d served %d of 9", c, seen[c])
+		}
+	}
+	st := cl.Stats()
+	if st.Total.Requests != 9 {
+		t.Errorf("aggregate requests = %d", st.Total.Requests)
+	}
+	// Each card paid its own cold miss.
+	if st.Total.Misses != 3 {
+		t.Errorf("misses = %d, want 3", st.Total.Misses)
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionPinsFunctions(t *testing.T) {
+	cl, err := New(4, ModePartition, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range algos.Bank() {
+		home := cl.Home(f.ID())
+		if home < 0 || home >= 4 {
+			t.Fatalf("%s homed at %d", f.Name(), home)
+		}
+		for i := 0; i < 3; i++ {
+			in := make([]byte, f.BlockBytes)
+			in[0] = byte(i)
+			res, card, err := cl.Call(f.ID(), in)
+			if err != nil {
+				t.Fatalf("%s: %v", f.Name(), err)
+			}
+			if card != home {
+				t.Fatalf("%s served by card %d, homed at %d", f.Name(), card, home)
+			}
+			want, _ := f.Exec(in)
+			if !bytes.Equal(res.Output, want) {
+				t.Fatalf("%s wrong output", f.Name())
+			}
+		}
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionBalancesLoad(t *testing.T) {
+	cl, err := New(4, ModePartition, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := fpga.Geometry{Rows: 32, Cols: 40}
+	load := make([]int, 4)
+	for _, f := range algos.Bank() {
+		load[cl.Home(f.ID())] += geom.FramesForLUTs(f.LUTs)
+	}
+	min, max := load[0], load[0]
+	for _, l := range load {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// Greedy balancing: the spread stays within the largest single
+	// function's demand (19 frames).
+	if max-min > 19 {
+		t.Errorf("load spread %v too wide", load)
+	}
+}
+
+func TestPartitionEliminatesThrashAtScale(t *testing.T) {
+	// Four 40-frame cards hold the 154-frame bank partitioned: after
+	// warmup, zero evictions. One card replicating thrashes hard.
+	run := func(n int, mode string) Stats {
+		cl, err := New(n, mode, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 5; round++ {
+			for _, f := range algos.Bank() {
+				in := make([]byte, f.BlockBytes)
+				in[0] = byte(round)
+				if _, _, err := cl.Call(f.ID(), in); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return cl.Stats()
+	}
+	part := run(4, ModePartition)
+	single := run(1, ModeReplicate)
+	if part.Total.Evictions != 0 {
+		t.Errorf("partitioned cluster evicted %d times", part.Total.Evictions)
+	}
+	if part.HitRate <= single.HitRate {
+		t.Errorf("partition hit rate %.3f not above single card %.3f", part.HitRate, single.HitRate)
+	}
+	if single.Total.Evictions == 0 {
+		t.Error("single card should thrash on the full bank")
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	cl, err := New(2, ModePartition, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Call(9999, []byte{1}); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("err = %v", err)
+	}
+	if cl.Home(9999) != -2 {
+		t.Error("unknown home")
+	}
+}

@@ -1,0 +1,141 @@
+// Package compress implements the bitstream compression schemes stored in
+// the co-processor's ROM and undone, window by window, by the
+// configuration module (paper §2.2–2.3). Four codecs are provided behind
+// one interface:
+//
+//   - rle: byte-level run-length encoding, the classic scheme for
+//     configuration bitstreams (long zero runs in unused logic).
+//   - lz77: sliding-window dictionary coding, exploiting repeated LUT
+//     patterns across the whole stream.
+//   - huffman: canonical Huffman coding of the byte distribution.
+//   - framediff: XOR of each frame against the previous frame followed by
+//     RLE — the answer to the paper's §4 open problem of exploiting CLB
+//     symmetry between frames; near-identical frames collapse to zeros.
+//   - none: identity, the uncompressed baseline.
+//
+// Every codec offers whole-buffer Compress/Decompress plus NewReader,
+// an incremental decompressor the configuration module drains in fixed
+// windows, and a decompression cost model in configuration-clock cycles
+// per output byte (what a hardware decompressor in the configuration
+// module would sustain).
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Codec compresses and decompresses bitstreams.
+type Codec interface {
+	Name() string
+	Compress(src []byte) ([]byte, error)
+	// Decompress expands a whole compressed buffer.
+	Decompress(comp []byte) ([]byte, error)
+	// NewReader returns an incremental decompressor over comp. Read
+	// fills windows of the caller's choosing; io.EOF follows the last
+	// byte, matching io.Reader semantics.
+	NewReader(comp []byte) (io.Reader, error)
+	// CyclesPerByte is the decompression throughput cost model: how many
+	// configuration-module clock cycles one output byte costs.
+	CyclesPerByte() float64
+}
+
+// ErrCorrupt reports malformed compressed data.
+var ErrCorrupt = errors.New("compress: corrupt stream")
+
+// Names lists the available codec names, sorted, `none` first.
+func Names() []string {
+	names := []string{"rle", "lz77", "huffman", "framediff"}
+	sort.Strings(names)
+	return append([]string{"none"}, names...)
+}
+
+// New returns the named codec. frameBytes parameterises framediff (the
+// frame period of the XOR predictor) and is ignored by the others.
+func New(name string, frameBytes int) (Codec, error) {
+	switch name {
+	case "none":
+		return noneCodec{}, nil
+	case "rle":
+		return rleCodec{}, nil
+	case "lz77":
+		return lz77Codec{}, nil
+	case "huffman":
+		return huffmanCodec{}, nil
+	case "framediff":
+		if frameBytes <= 0 {
+			return nil, fmt.Errorf("compress: framediff needs a positive frame size, got %d", frameBytes)
+		}
+		return frameDiffCodec{frameBytes: frameBytes}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+}
+
+// decompressAll drains a codec reader; shared by the Decompress methods.
+func decompressAll(c Codec, comp []byte) ([]byte, error) {
+	r, err := c.NewReader(comp)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(r)
+}
+
+// noneCodec is the identity codec.
+type noneCodec struct{}
+
+func (noneCodec) Name() string           { return "none" }
+func (noneCodec) CyclesPerByte() float64 { return 1.0 }
+
+func (noneCodec) Compress(src []byte) ([]byte, error) {
+	return append([]byte(nil), src...), nil
+}
+
+func (c noneCodec) Decompress(comp []byte) ([]byte, error) {
+	return append([]byte(nil), comp...), nil
+}
+
+func (noneCodec) NewReader(comp []byte) (io.Reader, error) {
+	return &sliceReader{data: comp}, nil
+}
+
+// sliceReader is a minimal incremental reader over a byte slice.
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// putUvarint / readUvarint: stream length headers.
+func putUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func readUvarint(src []byte) (v uint64, n int, err error) {
+	var shift uint
+	for i, b := range src {
+		if i > 9 {
+			return 0, 0, ErrCorrupt
+		}
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, ErrCorrupt
+}

@@ -1,0 +1,291 @@
+package compress
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"agilefpga/internal/sim"
+)
+
+const testFrameBytes = 672
+
+func allCodecs(t *testing.T) []Codec {
+	t.Helper()
+	var cs []Codec
+	for _, name := range Names() {
+		c, err := New(name, testFrameBytes)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("zstd", 1); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := New("framediff", 0); err == nil {
+		t.Error("framediff with zero frame size accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if names[0] != "none" || len(names) != 5 {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+// corpus builds inputs with bitstream-like statistics: zero runs, repeated
+// dictionary words, and some noise.
+func corpus() map[string][]byte {
+	rng := sim.NewRNG(99)
+	sparse := make([]byte, 8192)
+	for i := 0; i < len(sparse); i += 64 {
+		sparse[i] = byte(rng.Uint64())
+	}
+	dict := make([]byte, 8192)
+	words := [][]byte{{0xCA, 0xCA}, {0x69, 0x96}, {0xAA, 0xAA}, {0x00, 0x80}}
+	for i := 0; i+2 <= len(dict); i += 2 {
+		copy(dict[i:], words[rng.Intn(len(words))])
+	}
+	noise := make([]byte, 4096)
+	for i := range noise {
+		noise[i] = byte(rng.Uint64())
+	}
+	framed := make([]byte, 4*testFrameBytes)
+	base := make([]byte, testFrameBytes)
+	for i := range base {
+		if i%16 == 0 {
+			base[i] = byte(rng.Uint64())
+		}
+	}
+	for f := 0; f < 4; f++ {
+		copy(framed[f*testFrameBytes:], base)
+		// small per-frame perturbation
+		framed[f*testFrameBytes+7] = byte(f)
+	}
+	return map[string][]byte{
+		"sparse": sparse,
+		"dict":   dict,
+		"noise":  noise,
+		"framed": framed,
+		"empty":  nil,
+		"single": {0x42},
+		"runs":   bytes.Repeat([]byte{7}, 1000),
+	}
+}
+
+func TestRoundTripCorpus(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		for name, data := range corpus() {
+			comp, err := c.Compress(data)
+			if err != nil {
+				t.Fatalf("%s/%s: compress: %v", c.Name(), name, err)
+			}
+			got, err := c.Decompress(comp)
+			if err != nil {
+				t.Fatalf("%s/%s: decompress: %v", c.Name(), name, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("%s/%s: round trip mismatch (%d vs %d bytes)", c.Name(), name, len(got), len(data))
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		c := c
+		f := func(data []byte) bool {
+			comp, err := c.Compress(data)
+			if err != nil {
+				return false
+			}
+			got, err := c.Decompress(comp)
+			return err == nil && bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestWindowedReadMatchesWhole(t *testing.T) {
+	data := corpus()["framed"]
+	for _, c := range allCodecs(t) {
+		comp, err := c.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, window := range []int{1, 3, 64, 640, 100000} {
+			r, err := c.NewReader(comp)
+			if err != nil {
+				t.Fatalf("%s: NewReader: %v", c.Name(), err)
+			}
+			var got []byte
+			buf := make([]byte, window)
+			for {
+				n, err := r.Read(buf)
+				got = append(got, buf[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("%s/window %d: %v", c.Name(), window, err)
+				}
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("%s/window %d: windowed decode differs", c.Name(), window)
+			}
+		}
+	}
+}
+
+func TestReaderEOFAfterDrain(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		comp, _ := c.Compress([]byte("abcabcabcabc"))
+		r, err := c.NewReader(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadAll(r); err != nil {
+			t.Fatalf("%s: drain: %v", c.Name(), err)
+		}
+		if n, err := r.Read(make([]byte, 8)); n != 0 || err != io.EOF {
+			t.Errorf("%s: post-drain Read = (%d, %v), want (0, EOF)", c.Name(), n, err)
+		}
+	}
+}
+
+func TestCompressionRatios(t *testing.T) {
+	// Qualitative shape the experiments rely on: all real codecs beat
+	// `none` on sparse bitstream-like data, and framediff wins on framed
+	// data with inter-frame symmetry.
+	data := corpus()
+	ratio := func(c Codec, d []byte) float64 {
+		comp, err := c.Compress(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(len(d)) / float64(len(comp))
+	}
+	for _, name := range []string{"rle", "lz77", "huffman", "framediff"} {
+		c, _ := New(name, testFrameBytes)
+		if r := ratio(c, data["sparse"]); r < 2 {
+			t.Errorf("%s on sparse: ratio %.2f < 2", name, r)
+		}
+	}
+	fd, _ := New("framediff", testFrameBytes)
+	rle, _ := New("rle", testFrameBytes)
+	if rf, rr := ratio(fd, data["framed"]), ratio(rle, data["framed"]); rf <= rr {
+		t.Errorf("framediff (%.2f) should beat rle (%.2f) on framed data", rf, rr)
+	}
+}
+
+func TestIncompressibleDataExpandsBoundedly(t *testing.T) {
+	noise := corpus()["noise"]
+	for _, c := range allCodecs(t) {
+		comp, err := c.Compress(noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comp) > len(noise)+len(noise)/6+300 {
+			t.Errorf("%s: noise expanded %d → %d", c.Name(), len(noise), len(comp))
+		}
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	// Truncation of the compressed stream must surface ErrCorrupt (or a
+	// clean EOF with short output), never a panic or an infinite loop.
+	data := corpus()["dict"]
+	for _, c := range allCodecs(t) {
+		comp, _ := c.Compress(data)
+		for _, cut := range []int{0, 1, len(comp) / 2, len(comp) - 1} {
+			if cut >= len(comp) {
+				continue
+			}
+			trunc := comp[:cut]
+			r, err := c.NewReader(trunc)
+			if err != nil {
+				continue // header rejection is fine
+			}
+			got, err := io.ReadAll(r)
+			if err == nil && c.Name() != "none" && c.Name() != "rle" && c.Name() != "framediff" && len(got) == len(data) {
+				t.Errorf("%s: truncated at %d decoded fully", c.Name(), cut)
+			}
+		}
+	}
+}
+
+func TestFrameDiffRejectsWrongFrameSize(t *testing.T) {
+	a, _ := New("framediff", 100)
+	b, _ := New("framediff", 200)
+	comp, _ := a.Compress([]byte("xxxxxxxxxxyyyyyyyyyy"))
+	if _, err := b.NewReader(comp); err == nil {
+		t.Error("frame-size mismatch accepted")
+	}
+}
+
+func TestCyclesPerByteSane(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		if cpb := c.CyclesPerByte(); cpb < 0.5 || cpb > 16 {
+			t.Errorf("%s: CyclesPerByte = %v out of sane range", c.Name(), cpb)
+		}
+	}
+}
+
+func TestUvarint(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := putUvarint(nil, v)
+		got, n, err := readUvarint(buf)
+		return err == nil && n == len(buf) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := readUvarint(nil); err == nil {
+		t.Error("empty uvarint accepted")
+	}
+	if _, _, err := readUvarint(bytes.Repeat([]byte{0x80}, 12)); err == nil {
+		t.Error("overlong uvarint accepted")
+	}
+}
+
+func TestHuffmanSkewedInput(t *testing.T) {
+	// Heavily skewed distributions exercise the length-limiting path.
+	var data []byte
+	for i := 0; i < 18; i++ {
+		data = append(data, bytes.Repeat([]byte{byte(i)}, 1<<uint(i%14))...)
+	}
+	c, _ := New("huffman", 0)
+	comp, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(comp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("skewed round trip failed: %v", err)
+	}
+}
+
+func TestRLEWorstCaseAlternating(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i % 2)
+	}
+	c, _ := New("rle", 0)
+	comp, _ := c.Compress(data)
+	got, err := c.Decompress(comp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("alternating round trip failed")
+	}
+	if len(comp) > len(data)+len(data)/64+16 {
+		t.Errorf("alternating data expanded %d → %d", len(data), len(comp))
+	}
+}

@@ -1,0 +1,267 @@
+package compress
+
+import (
+	"container/heap"
+	"io"
+	"sort"
+)
+
+// huffmanCodec is canonical static Huffman coding over bytes:
+//
+//	header: uvarint raw length, then 256 code lengths (one byte each,
+//	        0 = symbol unused, max 15)
+//	body:   MSB-first bit-packed canonical codes
+//
+// The decoder rebuilds the canonical code from the lengths alone.
+type huffmanCodec struct{}
+
+func (huffmanCodec) Name() string           { return "huffman" }
+func (huffmanCodec) CyclesPerByte() float64 { return 4.0 }
+
+const huffMaxLen = 15
+
+// huffNode is a Huffman tree node for length assignment.
+type huffNode struct {
+	freq        uint64
+	sym         int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int            { return len(h) }
+func (h huffHeap) Less(i, j int) bool  { return h[i].freq < h[j].freq }
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildLengths assigns code lengths for the given frequencies, limited to
+// huffMaxLen by frequency flattening (rebuild with freq/2+1 until the
+// depth fits — crude but simple and convergent).
+func buildLengths(freq []uint64) [256]byte {
+	var lengths [256]byte
+	distinct := 0
+	for _, f := range freq {
+		if f > 0 {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		return lengths
+	}
+	if distinct == 1 {
+		for s, f := range freq {
+			if f > 0 {
+				lengths[s] = 1
+			}
+		}
+		return lengths
+	}
+	f := append([]uint64(nil), freq...)
+	for {
+		h := &huffHeap{}
+		heap.Init(h)
+		for s, fr := range f {
+			if fr > 0 {
+				heap.Push(h, &huffNode{freq: fr, sym: s})
+			}
+		}
+		for h.Len() > 1 {
+			a := heap.Pop(h).(*huffNode)
+			b := heap.Pop(h).(*huffNode)
+			heap.Push(h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+		}
+		root := heap.Pop(h).(*huffNode)
+		maxDepth := 0
+		var walk func(n *huffNode, d int)
+		walk = func(n *huffNode, d int) {
+			if n.sym >= 0 {
+				lengths[n.sym] = byte(d)
+				if d > maxDepth {
+					maxDepth = d
+				}
+				return
+			}
+			walk(n.left, d+1)
+			walk(n.right, d+1)
+		}
+		walk(root, 0)
+		if maxDepth <= huffMaxLen {
+			return lengths
+		}
+		for i := range f {
+			if f[i] > 0 {
+				f[i] = f[i]/2 + 1
+			}
+		}
+	}
+}
+
+// canonicalCodes derives canonical code values from lengths.
+func canonicalCodes(lengths *[256]byte) [256]uint16 {
+	type sl struct {
+		sym int
+		len byte
+	}
+	var used []sl
+	for s, l := range lengths {
+		if l > 0 {
+			used = append(used, sl{s, l})
+		}
+	}
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].len != used[j].len {
+			return used[i].len < used[j].len
+		}
+		return used[i].sym < used[j].sym
+	})
+	var codes [256]uint16
+	code := uint16(0)
+	prevLen := byte(0)
+	for _, u := range used {
+		code <<= uint(u.len - prevLen)
+		prevLen = u.len
+		codes[u.sym] = code
+		code++
+	}
+	return codes
+}
+
+func (huffmanCodec) Compress(src []byte) ([]byte, error) {
+	out := putUvarint(nil, uint64(len(src)))
+	var freq [256]uint64
+	for _, b := range src {
+		freq[b]++
+	}
+	lengths := buildLengths(freq[:])
+	out = append(out, lengths[:]...)
+	if len(src) == 0 {
+		return out, nil
+	}
+	codes := canonicalCodes(&lengths)
+	var acc uint32
+	var nbits uint
+	for _, b := range src {
+		acc = acc<<uint(lengths[b]) | uint32(codes[b])
+		nbits += uint(lengths[b])
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out, nil
+}
+
+func (c huffmanCodec) Decompress(comp []byte) ([]byte, error) {
+	return decompressAll(c, comp)
+}
+
+func (huffmanCodec) NewReader(comp []byte) (io.Reader, error) {
+	rawLen, n, err := readUvarint(comp)
+	if err != nil {
+		return nil, err
+	}
+	if len(comp) < n+256 {
+		return nil, ErrCorrupt
+	}
+	r := &huffReader{comp: comp, off: n + 256, remaining: int(rawLen)}
+	copy(r.lengths[:], comp[n:n+256])
+	for _, l := range r.lengths {
+		if l > huffMaxLen {
+			return nil, ErrCorrupt
+		}
+	}
+	// Canonical decode tables: for each length, the first code value and
+	// the symbols of that length in canonical order.
+	codes := canonicalCodes(&r.lengths)
+	for s, l := range r.lengths {
+		if l == 0 {
+			continue
+		}
+		r.count[l]++
+		r.syms[l] = append(r.syms[l], struct {
+			code uint16
+			sym  byte
+		}{codes[s], byte(s)})
+	}
+	for l := 1; l <= huffMaxLen; l++ {
+		sort.Slice(r.syms[l], func(i, j int) bool { return r.syms[l][i].code < r.syms[l][j].code })
+	}
+	return r, nil
+}
+
+type huffReader struct {
+	comp      []byte
+	off       int
+	remaining int
+
+	lengths [256]byte
+	count   [huffMaxLen + 1]int
+	syms    [huffMaxLen + 1][]struct {
+		code uint16
+		sym  byte
+	}
+
+	bitBuf uint32
+	bitLen uint
+	failed error
+}
+
+func (r *huffReader) Read(p []byte) (int, error) {
+	if r.failed != nil {
+		return 0, r.failed
+	}
+	n := 0
+	for n < len(p) && r.remaining > 0 {
+		sym, err := r.decodeSymbol()
+		if err != nil {
+			r.failed = err
+			if n > 0 {
+				return n, nil
+			}
+			return 0, err
+		}
+		p[n] = sym
+		n++
+		r.remaining--
+	}
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+func (r *huffReader) decodeSymbol() (byte, error) {
+	code := uint16(0)
+	for l := 1; l <= huffMaxLen; l++ {
+		if r.bitLen == 0 {
+			if r.off >= len(r.comp) {
+				return 0, ErrCorrupt
+			}
+			r.bitBuf = uint32(r.comp[r.off])
+			r.off++
+			r.bitLen = 8
+		}
+		r.bitLen--
+		bit := uint16(r.bitBuf>>r.bitLen) & 1
+		code = code<<1 | bit
+		if r.count[l] == 0 {
+			continue
+		}
+		bucket := r.syms[l]
+		first := bucket[0].code
+		if code >= first && int(code-first) < len(bucket) {
+			return bucket[code-first].sym, nil
+		}
+	}
+	return 0, ErrCorrupt
+}

@@ -1,0 +1,56 @@
+package compress
+
+import "fmt"
+
+// Codec identifiers as stored in ROM function records. The numbering is
+// part of the on-ROM format and must stay stable.
+const (
+	IDNone      = 0
+	IDRLE       = 1
+	IDLZ77      = 2
+	IDHuffman   = 3
+	IDFrameDiff = 4
+)
+
+var idToName = map[byte]string{
+	IDNone:      "none",
+	IDRLE:       "rle",
+	IDLZ77:      "lz77",
+	IDHuffman:   "huffman",
+	IDFrameDiff: "framediff",
+}
+
+var nameToID = map[string]byte{
+	"none":      IDNone,
+	"rle":       IDRLE,
+	"lz77":      IDLZ77,
+	"huffman":   IDHuffman,
+	"framediff": IDFrameDiff,
+}
+
+// IDOf maps a codec name to its ROM record identifier.
+func IDOf(name string) (byte, error) {
+	id, ok := nameToID[name]
+	if !ok {
+		return 0, fmt.Errorf("compress: unknown codec %q", name)
+	}
+	return id, nil
+}
+
+// NameOf maps a ROM record identifier back to a codec name.
+func NameOf(id byte) (string, error) {
+	name, ok := idToName[id]
+	if !ok {
+		return "", fmt.Errorf("compress: unknown codec id %d", id)
+	}
+	return name, nil
+}
+
+// ByID constructs the codec identified by id (see New for frameBytes).
+func ByID(id byte, frameBytes int) (Codec, error) {
+	name, err := NameOf(id)
+	if err != nil {
+		return nil, err
+	}
+	return New(name, frameBytes)
+}

@@ -1,0 +1,205 @@
+package compress
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// lz77Codec is greedy sliding-window dictionary coding with a 4 KiB
+// window, a hash-chain matcher and a token stream:
+//
+//	header:  uvarint raw length
+//	body:    groups of up to 8 tokens, each group led by a flag byte
+//	         (bit i set → token i is a match), tokens in order:
+//	         literal = 1 raw byte
+//	         match   = length-4 (1 byte) + offset (2 bytes LE, 1-based)
+//
+// Matches run 4..259 bytes at offsets 1..4096, capturing the repeated
+// LUT dictionary patterns that dominate configuration bitstreams.
+type lz77Codec struct{}
+
+func (lz77Codec) Name() string { return "lz77" }
+
+// CyclesPerByte: a hardware LZ decoder emits one byte per cycle from both
+// literal and match-copy paths; token parsing overlaps.
+func (lz77Codec) CyclesPerByte() float64 { return 1.0 }
+
+const (
+	lzWindow   = 4096
+	lzMinMatch = 4
+	lzMaxMatch = lzMinMatch + 255
+	lzMaxChain = 64 // hash-chain positions examined per match attempt
+)
+
+func lzHash(p []byte) uint32 {
+	return (binary.LittleEndian.Uint32(p) * 2654435761) >> 19 // 13-bit bucket
+}
+
+func (lz77Codec) Compress(src []byte) ([]byte, error) {
+	out := putUvarint(nil, uint64(len(src)))
+	if len(src) == 0 {
+		return out, nil
+	}
+	const nBuckets = 1 << 13
+	head := make([]int32, nBuckets)
+	prev := make([]int32, len(src))
+	for i := range head {
+		head[i] = -1
+	}
+
+	flagPos := -1
+	flagBit := 8
+	emitToken := func(isMatch bool, payload []byte) {
+		if flagBit == 8 {
+			flagPos = len(out)
+			out = append(out, 0)
+			flagBit = 0
+		}
+		if isMatch {
+			out[flagPos] |= 1 << uint(flagBit)
+		}
+		flagBit++
+		out = append(out, payload...)
+	}
+
+	insert := func(i int) {
+		if i+lzMinMatch <= len(src) {
+			h := lzHash(src[i:])
+			prev[i] = head[h]
+			head[h] = int32(i)
+		}
+	}
+
+	i := 0
+	for i < len(src) {
+		bestLen, bestOff := 0, 0
+		if i+lzMinMatch <= len(src) {
+			h := lzHash(src[i:])
+			cand := head[h]
+			limit := len(src) - i
+			if limit > lzMaxMatch {
+				limit = lzMaxMatch
+			}
+			for chain := 0; cand >= 0 && chain < lzMaxChain; chain++ {
+				off := i - int(cand)
+				if off > lzWindow {
+					break
+				}
+				l := 0
+				for l < limit && src[int(cand)+l] == src[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestOff = l, off
+					if l == limit {
+						break
+					}
+				}
+				cand = prev[cand]
+			}
+		}
+		if bestLen >= lzMinMatch {
+			var tok [3]byte
+			tok[0] = byte(bestLen - lzMinMatch)
+			binary.LittleEndian.PutUint16(tok[1:], uint16(bestOff))
+			emitToken(true, tok[:])
+			for k := 0; k < bestLen; k++ {
+				insert(i + k)
+			}
+			i += bestLen
+		} else {
+			emitToken(false, src[i:i+1])
+			insert(i)
+			i++
+		}
+	}
+	return out, nil
+}
+
+func (c lz77Codec) Decompress(comp []byte) ([]byte, error) {
+	return decompressAll(c, comp)
+}
+
+func (lz77Codec) NewReader(comp []byte) (io.Reader, error) {
+	rawLen, n, err := readUvarint(comp)
+	if err != nil {
+		return nil, err
+	}
+	return &lz77Reader{comp: comp, off: n, remaining: int(rawLen)}, nil
+}
+
+// lz77Reader incrementally decodes the token stream. It keeps the full
+// decoded history (the window never exceeds 4 KiB back-references, but a
+// flat buffer keeps the code simple; bitstreams are small).
+type lz77Reader struct {
+	comp      []byte
+	off       int
+	remaining int // raw bytes not yet produced
+
+	hist   []byte // all decoded output
+	served int    // bytes of hist already returned
+
+	flags   byte
+	flagBit int
+	failed  error
+}
+
+func (r *lz77Reader) Read(p []byte) (int, error) {
+	if r.failed != nil {
+		return 0, r.failed
+	}
+	for len(r.hist)-r.served < len(p) && r.remaining > 0 {
+		if err := r.decodeToken(); err != nil {
+			r.failed = err
+			break
+		}
+	}
+	avail := len(r.hist) - r.served
+	if avail == 0 {
+		if r.failed != nil {
+			return 0, r.failed
+		}
+		return 0, io.EOF
+	}
+	n := copy(p, r.hist[r.served:])
+	r.served += n
+	return n, nil
+}
+
+func (r *lz77Reader) decodeToken() error {
+	if r.flagBit == 0 {
+		if r.off >= len(r.comp) {
+			return ErrCorrupt
+		}
+		r.flags = r.comp[r.off]
+		r.off++
+		r.flagBit = 8
+	}
+	isMatch := r.flags&1 != 0
+	r.flags >>= 1
+	r.flagBit--
+	if !isMatch {
+		if r.off >= len(r.comp) {
+			return ErrCorrupt
+		}
+		r.hist = append(r.hist, r.comp[r.off])
+		r.off++
+		r.remaining--
+		return nil
+	}
+	if r.off+3 > len(r.comp) {
+		return ErrCorrupt
+	}
+	length := int(r.comp[r.off]) + lzMinMatch
+	offset := int(binary.LittleEndian.Uint16(r.comp[r.off+1:]))
+	r.off += 3
+	if offset == 0 || offset > len(r.hist) || length > r.remaining {
+		return ErrCorrupt
+	}
+	start := len(r.hist) - offset
+	for k := 0; k < length; k++ { // byte-wise: matches may overlap themselves
+		r.hist = append(r.hist, r.hist[start+k])
+	}
+	r.remaining -= length
+	return nil
+}

@@ -1,0 +1,375 @@
+// Package core assembles the full co-processor of the paper's Figure 1:
+// the PCI bus, the microcontroller with its ROM/RAM and mini OS, and the
+// partially reconfigurable fabric — plus the host-side driver that talks
+// to the card exactly the way the paper describes (inputs over PCI into
+// local RAM, commands to the microcontroller, outputs collected back).
+//
+// It also carries the host software baseline (RunHost) used by the
+// offload experiments: the same behavioural computation costed with the
+// function's host-cycle model instead of the card pipeline.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/bitstream"
+	"agilefpga/internal/compress"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/mcu"
+	"agilefpga/internal/memory"
+	"agilefpga/internal/pci"
+	"agilefpga/internal/replace"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/trace"
+)
+
+// HostHz is the host CPU clock for the software baseline: a 2 GHz scalar
+// machine of the paper's era.
+const HostHz = 2_000_000_000
+
+// Config parameterises the whole system. Zero values select defaults.
+type Config struct {
+	Geometry    fpga.Geometry // default: fpga.DefaultGeometry
+	ROMBytes    int
+	RAMBytes    int
+	WindowBytes int
+	// Codec names the bitstream compression scheme used when installing
+	// functions. Default "framediff".
+	Codec string
+	// Policy names the frame replacement policy ("lru", "fifo", "lfu",
+	// "random"). Default "lru" (the paper's). PolicyImpl overrides it.
+	Policy     string
+	PolicySeed uint64
+	PolicyImpl replace.Policy
+	// AllowScatter permits non-contiguous placement. Default true.
+	NoScatter bool
+	// DiffReload enables the mini OS's difference-based reconfiguration
+	// flow (lazy eviction + generation-verified revival).
+	DiffReload bool
+	// Prefetch enables the mini OS's configuration prefetcher.
+	Prefetch bool
+	// ROMImage boots the card from a pre-burned ROM image (see
+	// memory.LoadROM and cmd/bitc -burn); functions found in it are
+	// immediately callable without Install.
+	ROMImage []byte
+}
+
+// CoProcessor is the assembled card plus its host driver.
+type CoProcessor struct {
+	cfg   Config
+	reg   *fpga.Registry
+	ctrl  *mcu.Controller
+	bus   *pci.Bus
+	codec compress.Codec
+
+	pciDom  *sim.Domain
+	hostDom *sim.Domain
+
+	slot      int
+	installed map[uint16]*algos.Function
+	serial    uint16
+}
+
+// CallResult reports one co-processor invocation.
+type CallResult struct {
+	Output []byte
+	// Breakdown covers the whole round trip, including PhasePCI.
+	Breakdown sim.Breakdown
+	// Latency is Breakdown.Total().
+	Latency sim.Time
+	// Hit reports whether the function was already on the fabric.
+	Hit bool
+}
+
+// New assembles a co-processor with the full algorithm bank registered.
+func New(cfg Config) (*CoProcessor, error) {
+	if cfg.Geometry == (fpga.Geometry{}) {
+		cfg.Geometry = fpga.DefaultGeometry
+	}
+	if cfg.Codec == "" {
+		cfg.Codec = "framediff"
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "lru"
+	}
+	pol := cfg.PolicyImpl
+	if pol == nil {
+		var err error
+		pol, err = replace.New(cfg.Policy, cfg.PolicySeed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	codec, err := compress.New(cfg.Codec, cfg.Geometry.FrameBytes())
+	if err != nil {
+		return nil, err
+	}
+	reg := fpga.NewRegistry()
+	if err := algos.RegisterAll(reg); err != nil {
+		return nil, err
+	}
+	ctrl, err := mcu.New(mcu.Config{
+		Geometry:     cfg.Geometry,
+		ROMBytes:     cfg.ROMBytes,
+		RAMBytes:     cfg.RAMBytes,
+		WindowBytes:  cfg.WindowBytes,
+		Policy:       pol,
+		AllowScatter: !cfg.NoScatter,
+		DiffReload:   cfg.DiffReload,
+		Prefetch:     cfg.Prefetch,
+		ROMImage:     cfg.ROMImage,
+	}, reg)
+	if err != nil {
+		return nil, err
+	}
+	bus := pci.NewBus()
+	const slot = 4
+	if err := bus.Attach(slot, ctrl, pci.ConfigSpace{
+		VendorID: 0x1172, // Altera, per the proof-of-concept board
+		DeviceID: 0xA617,
+		Class:    0x0B4000, // co-processor
+	}); err != nil {
+		return nil, err
+	}
+	cp := &CoProcessor{
+		cfg:       cfg,
+		reg:       reg,
+		ctrl:      ctrl,
+		bus:       bus,
+		codec:     codec,
+		pciDom:    sim.NewDomain("pci", pci.BusHz),
+		hostDom:   sim.NewDomain("host", HostHz),
+		slot:      slot,
+		installed: make(map[uint16]*algos.Function),
+	}
+	// A pre-burned ROM makes its functions callable immediately; the
+	// serial counter resumes above the highest burned serial so later
+	// installs stay distinguishable.
+	if cfg.ROMImage != nil {
+		recs, err := ctrl.ROM().Records()
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			for _, f := range algos.Bank() {
+				if f.ID() == rec.FnID {
+					cp.installed[rec.FnID] = f
+				}
+			}
+			if rec.Serial > cp.serial {
+				cp.serial = rec.Serial
+			}
+		}
+	}
+	return cp, nil
+}
+
+// Controller exposes the card's microcontroller (stats, invariants).
+func (cp *CoProcessor) Controller() *mcu.Controller { return cp.ctrl }
+
+// Bus exposes the PCI bus (device discovery demos).
+func (cp *CoProcessor) Bus() *pci.Bus { return cp.bus }
+
+// Slot reports the card's PCI slot.
+func (cp *CoProcessor) Slot() int { return cp.slot }
+
+// Codec reports the install-time compression codec.
+func (cp *CoProcessor) Codec() compress.Codec { return cp.codec }
+
+// BuildImage synthesises a function's frame images and compresses them
+// with codec, returning the ROM record and blob. Exposed for the tooling
+// (cmd/bitc) and the compression experiments.
+func BuildImage(g fpga.Geometry, f *algos.Function, codec compress.Codec, serial uint16) (memory.Record, []byte, error) {
+	images, err := bitstream.Synthesize(g, bitstream.Netlist{
+		FnID: f.ID(), Serial: serial, LUTs: f.LUTs, Seed: f.Seed(),
+	})
+	if err != nil {
+		return memory.Record{}, nil, err
+	}
+	raw := make([]byte, 0, len(images)*g.FrameBytes())
+	for _, img := range images {
+		raw = append(raw, img...)
+	}
+	blob, err := codec.Compress(raw)
+	if err != nil {
+		return memory.Record{}, nil, err
+	}
+	codecID, err := compress.IDOf(codec.Name())
+	if err != nil {
+		return memory.Record{}, nil, err
+	}
+	rec := memory.Record{
+		Name:       f.Name(),
+		FnID:       f.ID(),
+		CodecID:    codecID,
+		RawSize:    uint32(len(raw)),
+		InBus:      f.InBus,
+		OutBus:     f.OutBus,
+		FrameCount: uint16(len(images)),
+		Serial:     serial,
+	}
+	return rec, blob, nil
+}
+
+// Install provisions one bank function: synthesise, compress, push the
+// blob over PCI into the card's ROM. It returns the provisioning time
+// (bus transfer plus ROM programming).
+func (cp *CoProcessor) Install(f *algos.Function) (sim.Time, error) {
+	if f == nil {
+		return 0, errors.New("core: Install(nil)")
+	}
+	cp.serial++
+	rec, blob, err := BuildImage(cp.cfg.Geometry, f, cp.codec, cp.serial)
+	if err != nil {
+		return 0, err
+	}
+	// Provisioning transfer: blob plus record over the bus.
+	busTime := cp.pciDom.Advance(pci.TransferCycles(len(blob) + memory.RecordBytes))
+	romTime, err := cp.ctrl.Download(rec, blob)
+	if err != nil {
+		return 0, err
+	}
+	cp.installed[f.ID()] = f
+	return busTime + romTime, nil
+}
+
+// InstallBank installs the whole algorithm bank.
+func (cp *CoProcessor) InstallBank() (sim.Time, error) {
+	var total sim.Time
+	for _, f := range algos.Bank() {
+		t, err := cp.Install(f)
+		if err != nil {
+			return total, fmt.Errorf("core: installing %s: %w", f.Name(), err)
+		}
+		total += t
+	}
+	return total, nil
+}
+
+// Installed lists the provisioned functions.
+func (cp *CoProcessor) Installed() []*algos.Function {
+	out := make([]*algos.Function, 0, len(cp.installed))
+	for _, f := range algos.Bank() {
+		if _, ok := cp.installed[f.ID()]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// lookup resolves a provisioned function by name.
+func (cp *CoProcessor) lookup(name string) (*algos.Function, error) {
+	f, err := algos.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := cp.installed[f.ID()]; !ok {
+		return nil, fmt.Errorf("core: function %q not installed on the card", name)
+	}
+	return f, nil
+}
+
+// Call executes the named function on the card, following the full host
+// protocol: burst input into BAR1, fire the mailbox, read the result.
+func (cp *CoProcessor) Call(name string, input []byte) (*CallResult, error) {
+	f, err := cp.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return cp.CallID(f.ID(), input)
+}
+
+// CallID is Call by function id.
+func (cp *CoProcessor) CallID(fnID uint16, input []byte) (*CallResult, error) {
+	if len(input) == 0 {
+		return nil, errors.New("core: empty input")
+	}
+	if len(input) > cp.ctrl.InWindowBytes() {
+		return nil, fmt.Errorf("core: input of %d bytes exceeds the %d-byte staging window",
+			len(input), cp.ctrl.InWindowBytes())
+	}
+	hitsBefore := cp.ctrl.Stats().Hits
+
+	var busCycles uint64
+	// 1. Input into BAR1.
+	cyc, err := cp.bus.Write(cp.slot, 1, 0, input)
+	if err != nil {
+		return nil, err
+	}
+	busCycles += cyc
+	// 2–3. Arguments and command.
+	for _, rw := range []struct {
+		off uint32
+		val uint32
+	}{
+		{mcu.RegARG0, uint32(fnID)},
+		{mcu.RegARG1, uint32(len(input))},
+		{mcu.RegCMD, mcu.CmdExec},
+	} {
+		cyc, err := cp.bus.WriteWord(cp.slot, 0, rw.off, rw.val)
+		if err != nil {
+			return nil, err
+		}
+		busCycles += cyc
+	}
+	// 4. Status and result length.
+	status, cyc, err := cp.bus.ReadWord(cp.slot, 0, mcu.RegSTATUS)
+	if err != nil {
+		return nil, err
+	}
+	busCycles += cyc
+	if status != mcu.StatusOK {
+		code, cyc2, _ := cp.bus.ReadWord(cp.slot, 0, mcu.RegERRCODE)
+		busCycles += cyc2
+		cp.pciDom.Advance(busCycles)
+		return nil, fmt.Errorf("core: card reported error code %d for function %d", code, fnID)
+	}
+	rlen, cyc, err := cp.bus.ReadWord(cp.slot, 0, mcu.RegRESULTLEN)
+	if err != nil {
+		return nil, err
+	}
+	busCycles += cyc
+	// 5. Output from BAR1.
+	out, cyc, err := cp.bus.Read(cp.slot, 1, cp.ctrl.OutWindowOff(), int(rlen))
+	if err != nil {
+		return nil, err
+	}
+	busCycles += cyc
+
+	br := cp.ctrl.LastBreakdown()
+	br.Add(sim.PhasePCI, cp.pciDom.Advance(busCycles))
+	return &CallResult{
+		Output:    out,
+		Breakdown: br,
+		Latency:   br.Total(),
+		Hit:       cp.ctrl.Stats().Hits > hitsBefore,
+	}, nil
+}
+
+// RunHost executes the function in host software: the same behaviour,
+// costed with the function's host-cycle model. The offload baseline.
+func (cp *CoProcessor) RunHost(name string, input []byte) ([]byte, sim.Time, error) {
+	f, err := algos.ByName(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(input) == 0 {
+		return nil, 0, errors.New("core: empty input")
+	}
+	out, err := f.Exec(input)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, cp.hostDom.Advance(f.SWCycles(len(input))), nil
+}
+
+// SetTrace attaches a structured event log to the card (nil disables).
+func (cp *CoProcessor) SetTrace(l *trace.Log) { cp.ctrl.SetTrace(l) }
+
+// Stats exposes the card's counters.
+func (cp *CoProcessor) Stats() mcu.Stats { return cp.ctrl.Stats() }
+
+// ResetStats zeroes the card's counters (between experiment phases).
+func (cp *CoProcessor) ResetStats() { cp.ctrl.ResetStats() }

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/workload"
+)
+
+// E12 — device-size scaling: the capacity-planning curve. The same Zipf
+// request stream drives devices from 16 to 96 frames; hit rate climbs as
+// more of the bank fits and mean latency falls accordingly, saturating
+// once the whole working set is resident — the curve a co-processor
+// vendor would size the FPGA from.
+type E12Result struct {
+	Table Table
+	// HitRate and MeanLatency per frame count.
+	HitRate     map[int]float64
+	MeanLatency map[int]sim.Time
+}
+
+// E12Cols is the default device-size sweep (frames). The floor is the
+// largest single function (viterbi, 19 frames on 32-row columns).
+var E12Cols = []int{20, 24, 32, 48, 64, 96}
+
+// RunE12 executes the scaling sweep.
+func RunE12(requests int) (*E12Result, error) {
+	if requests <= 0 {
+		requests = 1000
+	}
+	var ids []uint16
+	for _, f := range algos.Bank() {
+		ids = append(ids, f.ID())
+	}
+	res := &E12Result{
+		Table: Table{
+			Title:  fmt.Sprintf("E12  Device-size scaling under a Zipf stream (%d requests)", requests),
+			Header: []string{"frames", "resident capacity", "hit rate", "evictions", "mean latency"},
+		},
+		HitRate:     make(map[int]float64),
+		MeanLatency: make(map[int]sim.Time),
+	}
+	// Total frame demand of the bank, for the capacity column.
+	totalDemand := 0
+	for _, f := range algos.Bank() {
+		totalDemand += fpga.Geometry{Rows: 32, Cols: 96}.FramesForLUTs(f.LUTs)
+	}
+	for _, cols := range E12Cols {
+		geom := fpga.Geometry{Rows: 32, Cols: cols}
+		cp, err := core.New(core.Config{Geometry: geom})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cp.InstallBank(); err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewZipf(ids, 1.1, 4242)
+		if err != nil {
+			return nil, err
+		}
+		var total sim.Time
+		for i := 0; i < requests; i++ {
+			fn := gen.Next()
+			f, err := byID(fn)
+			if err != nil {
+				return nil, err
+			}
+			in := make([]byte, f.BlockBytes)
+			in[0] = byte(i)
+			call, err := cp.CallID(fn, in)
+			if err != nil {
+				return nil, fmt.Errorf("exp: E12 cols=%d request %d: %w", cols, i, err)
+			}
+			total += call.Latency
+		}
+		st := cp.Stats()
+		hr := float64(st.Hits) / float64(st.Requests)
+		mean := sim.Time(uint64(total) / uint64(requests))
+		res.HitRate[cols] = hr
+		res.MeanLatency[cols] = mean
+		res.Table.AddRow(cols, fmt.Sprintf("%.0f%% of bank", 100*float64(cols)/float64(totalDemand)),
+			fmt.Sprintf("%.3f", hr), st.Evictions, mean.String())
+	}
+	res.Table.Caption = fmt.Sprintf("bank total demand: %d frames across %d functions; Zipf(1.1) stream", totalDemand, len(ids))
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/core"
+	"agilefpga/internal/sim"
+)
+
+// E14 — SEU scrubbing. Single-event upsets flip configuration bits
+// without telling anyone; the scrubber reads resident frames back,
+// compares them against the ROM golden images, and rewrites what
+// differs. Sweeping the scrub interval trades scrub overhead against the
+// window of vulnerability — the fraction of requests served while some
+// resident frame was corrupted. The harness is omniscient: it tracks its
+// own injections, so "vulnerable requests" is exact.
+type E14Result struct {
+	Table Table
+	// VulnerableFrac and ScrubOverhead per scrub interval (0 = never).
+	VulnerableFrac map[int]float64
+	ScrubOverhead  map[int]sim.Time
+	Repaired       map[int]int
+}
+
+// E14Intervals is the scrub-interval sweep, in requests per scrub pass
+// (0 = scrubbing disabled).
+var E14Intervals = []int{0, 100, 25, 5, 1}
+
+// RunE14 executes the reliability experiment: `requests` calls with one
+// SEU injected every `seuEvery` requests into a random resident frame.
+func RunE14(requests, seuEvery int) (*E14Result, error) {
+	if requests <= 0 {
+		requests = 500
+	}
+	if seuEvery <= 0 {
+		seuEvery = 10
+	}
+	res := &E14Result{
+		Table: Table{
+			Title: fmt.Sprintf("E14  SEU scrubbing: vulnerability vs scrub interval (%d requests, 1 SEU per %d)",
+				requests, seuEvery),
+			Header: []string{"scrub every", "vulnerable requests", "SEUs repaired", "scrub time", "mean latency"},
+		},
+		VulnerableFrac: make(map[int]float64),
+		ScrubOverhead:  make(map[int]sim.Time),
+		Repaired:       make(map[int]int),
+	}
+	fns := []*algos.Function{algos.DES(), algos.FIR(), algos.CRC32()}
+	for _, interval := range E14Intervals {
+		cp, err := core.New(core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range fns {
+			if _, err := cp.Install(f); err != nil {
+				return nil, err
+			}
+		}
+		ctrl := cp.Controller()
+		rng := sim.NewRNG(0x5EED)
+		// corrupted tracks frames the harness has upset and the card has
+		// not yet repaired.
+		corrupted := make(map[int]bool)
+		vulnerable := 0
+		var total sim.Time
+		for i := 0; i < requests; i++ {
+			f := fns[i%len(fns)]
+			// Inject an upset into a random resident frame.
+			if i%seuEvery == seuEvery-1 {
+				victim := fns[rng.Intn(len(fns))]
+				frames := ctrl.FramesOf(victim.ID())
+				if len(frames) > 0 {
+					fi := frames[rng.Intn(len(frames))]
+					bit := rng.Intn(ctrl.Fabric().Geometry().FrameBytes() * 8)
+					if err := ctrl.Fabric().InjectSEU(fi, bit); err != nil {
+						return nil, err
+					}
+					corrupted[fi] = true
+				}
+			}
+			// Vulnerability check before serving: does the target run on
+			// a corrupted frame?
+			for _, fi := range ctrl.FramesOf(f.ID()) {
+				if corrupted[fi] {
+					vulnerable++
+					break
+				}
+			}
+			in := make([]byte, f.BlockBytes)
+			in[0] = byte(i)
+			call, err := cp.CallID(f.ID(), in)
+			if err != nil {
+				return nil, fmt.Errorf("exp: E14 interval %d request %d: %w", interval, i, err)
+			}
+			total += call.Latency
+			// A miss-reload rewrites frames: clear their corruption.
+			if !call.Hit {
+				for _, fi := range ctrl.FramesOf(f.ID()) {
+					delete(corrupted, fi)
+				}
+			}
+			// Periodic scrub.
+			if interval > 0 && i%interval == interval-1 {
+				rep, err := ctrl.Scrub()
+				if err != nil {
+					return nil, err
+				}
+				if rep.FramesRepaired > 0 {
+					// Everything resident is now golden.
+					for fi := range corrupted {
+						delete(corrupted, fi)
+					}
+				}
+			}
+		}
+		st := ctrl.Stats()
+		frac := float64(vulnerable) / float64(requests)
+		label := "never"
+		if interval > 0 {
+			label = fmt.Sprintf("%d req", interval)
+		}
+		res.VulnerableFrac[interval] = frac
+		res.ScrubOverhead[interval] = st.ScrubTime
+		res.Repaired[interval] = int(st.SEURepairs)
+		res.Table.AddRow(label, fmt.Sprintf("%d (%.1f%%)", vulnerable, 100*frac),
+			st.SEURepairs, st.ScrubTime.String(),
+			sim.Time(uint64(total)/uint64(requests)).String())
+	}
+	res.Table.Caption = "vulnerable = requests served while a resident frame held a flipped bit; " +
+		"scrubbing trades readback time for a shorter exposure window"
+	return res, nil
+}

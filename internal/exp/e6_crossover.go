@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/core"
+	"agilefpga/internal/sim"
+)
+
+// E6 — offload crossover (paper §1 motivation meets §2.3 PCI transfers).
+// For a compute-dense kernel (modexp64) and a streaming kernel (aes128),
+// sweep the payload from 96 B to 768 KiB and report host time, hot-card
+// time, and cold-card time (first call after eviction: PCI + configuration
+// + exec). The series shows where offload starts to pay, how cold
+// configuration pushes the crossover right, and that bus-bound kernels
+// never cross at all.
+type E6Result struct {
+	Table Table
+	// Crossover payload (bytes) at which the hot card first beats the
+	// host, per function; 0 = never within the sweep.
+	HotCrossover map[string]int
+}
+
+// E6Sizes is the default payload sweep (bytes); each is a multiple of
+// every swept function's block size (modexp 24 B, aes 16 B → lcm 48).
+var E6Sizes = []int{96, 480, 960, 4800, 48_000, 768_000}
+
+// RunE6 executes the crossover sweep. maxSize trims the sweep for quick
+// runs (0 = full).
+func RunE6(maxSize int) (*E6Result, error) {
+	res := &E6Result{
+		Table: Table{
+			Title:  "E6  Offload crossover: payload sweep, host vs hot card vs cold card",
+			Header: []string{"function", "payload B", "host", "card hot", "card cold", "hot wins"},
+		},
+		HotCrossover: make(map[string]int),
+	}
+	for _, fname := range []string{"modexp64", "aes128"} {
+		f, err := algos.ByName(fname)
+		if err != nil {
+			return nil, err
+		}
+		// A larger staging RAM accommodates the big payloads.
+		cp, err := core.New(core.Config{RAMBytes: 4 * 1024 * 1024})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cp.Install(f); err != nil {
+			return nil, err
+		}
+		for _, size := range E6Sizes {
+			if maxSize > 0 && size > maxSize {
+				continue
+			}
+			in := make([]byte, size)
+			for i := range in {
+				in[i] = byte(i*31 + 1)
+			}
+			// Cold: evict first, then call.
+			cp.Controller().Evict(f.ID())
+			cold, err := cp.CallID(f.ID(), in)
+			if err != nil {
+				return nil, fmt.Errorf("exp: E6 %s cold %d: %w", fname, size, err)
+			}
+			// Hot: call again.
+			hot, err := cp.CallID(f.ID(), in)
+			if err != nil {
+				return nil, err
+			}
+			if !hot.Hit {
+				return nil, fmt.Errorf("exp: E6 %s: second call missed", fname)
+			}
+			_, host, err := cp.RunHost(fname, in)
+			if err != nil {
+				return nil, err
+			}
+			wins := hot.Latency < host
+			if wins && res.HotCrossover[fname] == 0 {
+				res.HotCrossover[fname] = size
+			}
+			res.Table.AddRow(fname, size, host.String(), hot.Latency.String(),
+				cold.Latency.String(), fmt.Sprintf("%v", wins))
+		}
+	}
+	res.Table.Caption = "cold = call immediately after eviction (pays ROM + decompress + configure); modexp crosses early, aes is PCI-bound"
+	return res, nil
+}
+
+var _ = sim.Time(0)

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/bitstream"
+	"agilefpga/internal/compress"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/memory"
+)
+
+// E8 — ROM capacity (paper §2.2's two-ended layout). For each ROM size ×
+// codec, install an endless series of bank-shaped functions (fresh ids,
+// bank LUT footprints cycled) until the bitstream region collides with
+// the record table. The count is the size of the algorithm bank the card
+// can carry — compression multiplies it.
+type E8Result struct {
+	Table Table
+	// Capacity[romBytes][codec] = functions installed before collision.
+	Capacity map[int]map[string]int
+}
+
+// E8ROMSizes is the default ROM sweep.
+var E8ROMSizes = []int{64 * 1024, 256 * 1024, 1024 * 1024}
+
+// RunE8 executes the ROM-capacity experiment.
+func RunE8() (*E8Result, error) {
+	g := fpga.DefaultGeometry
+	bank := algos.Bank()
+	res := &E8Result{
+		Table: Table{
+			Title:  "E8  ROM capacity: functions stored before the two-ended layout collides",
+			Header: append([]string{"ROM"}, compress.Names()...),
+		},
+		Capacity: make(map[int]map[string]int),
+	}
+	for _, romBytes := range E8ROMSizes {
+		res.Capacity[romBytes] = make(map[string]int)
+		row := []interface{}{fmt.Sprintf("%d KiB", romBytes/1024)}
+		for _, codecName := range compress.Names() {
+			codec, err := compress.New(codecName, g.FrameBytes())
+			if err != nil {
+				return nil, err
+			}
+			codecID, err := compress.IDOf(codecName)
+			if err != nil {
+				return nil, err
+			}
+			rom, err := memory.NewROM(romBytes)
+			if err != nil {
+				return nil, err
+			}
+			count := 0
+			for {
+				proto := bank[count%len(bank)]
+				fnID := uint16(1000 + count)
+				images, err := bitstream.Synthesize(g, bitstream.Netlist{
+					FnID: fnID, Serial: 1, LUTs: proto.LUTs, Seed: uint64(count) * 977,
+				})
+				if err != nil {
+					return nil, err
+				}
+				var raw []byte
+				for _, img := range images {
+					raw = append(raw, img...)
+				}
+				blob, err := codec.Compress(raw)
+				if err != nil {
+					return nil, err
+				}
+				rec := memory.Record{
+					Name: proto.Name(), FnID: fnID, CodecID: codecID,
+					RawSize: uint32(len(raw)), InBus: proto.InBus, OutBus: proto.OutBus,
+					FrameCount: uint16(len(images)), Serial: 1,
+				}
+				if err := rom.Install(rec, blob); err != nil {
+					if errors.Is(err, memory.ErrROMFull) {
+						break
+					}
+					return nil, err
+				}
+				count++
+			}
+			res.Capacity[romBytes][codecName] = count
+			row = append(row, count)
+		}
+		res.Table.AddRow(row...)
+	}
+	res.Table.Caption = "entries = installed functions (bank footprints cycled); geometry " + g.String()
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Device families. Real FPGA product lines ship one architecture in
+// several sizes, each with its own IDCODE so a bitstream built for one
+// part cannot configure another — the IDCODE check in the configuration
+// port enforces exactly that. The catalogue below is the simulated
+// "AGL1" family.
+type Device struct {
+	Name   string
+	Geom   Geometry
+	IDCode uint32
+}
+
+var deviceCatalog = []Device{
+	{Name: "agl1-s", Geom: Geometry{Rows: 32, Cols: 24}, IDCode: 0xA617_0018},
+	{Name: "agl1-m", Geom: Geometry{Rows: 32, Cols: 48}, IDCode: 0xA617_0001},
+	{Name: "agl1-l", Geom: Geometry{Rows: 32, Cols: 96}, IDCode: 0xA617_0060},
+}
+
+// Devices lists the known device family members, smallest first.
+func Devices() []Device {
+	out := append([]Device(nil), deviceCatalog...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Geom.Cols < out[j].Geom.Cols })
+	return out
+}
+
+// DeviceByName finds a catalogue device.
+func DeviceByName(name string) (Device, error) {
+	for _, d := range deviceCatalog {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("fpga: unknown device %q", name)
+}
+
+// NewDeviceFabric builds a fabric for a named catalogue device, with the
+// family-correct IDCODE.
+func NewDeviceFabric(name string, reg *Registry) (*Fabric, error) {
+	d, err := DeviceByName(name)
+	if err != nil {
+		return nil, err
+	}
+	f := NewFabric(d.Geom, reg)
+	f.idcode = d.IDCode
+	return f, nil
+}

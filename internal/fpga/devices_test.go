@@ -1,0 +1,60 @@
+package fpga
+
+import "testing"
+
+func TestDeviceCatalog(t *testing.T) {
+	devs := Devices()
+	if len(devs) != 3 {
+		t.Fatalf("%d devices", len(devs))
+	}
+	// Sorted smallest first, distinct IDCODEs, valid geometries.
+	seen := map[uint32]bool{}
+	prev := 0
+	for _, d := range devs {
+		if d.Geom.Cols < prev {
+			t.Errorf("catalogue not sorted: %s", d.Name)
+		}
+		prev = d.Geom.Cols
+		if seen[d.IDCode] {
+			t.Errorf("duplicate IDCODE %08x", d.IDCode)
+		}
+		seen[d.IDCode] = true
+		if err := d.Geom.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	d, err := DeviceByName("agl1-m")
+	if err != nil || d.Geom != DefaultGeometry || d.IDCode != DefaultIDCode {
+		t.Errorf("agl1-m = %+v, %v (the medium part is the family default)", d, err)
+	}
+	if _, err := DeviceByName("xc2v1000"); err == nil {
+		t.Error("foreign part accepted")
+	}
+}
+
+func TestCrossDeviceBitstreamRejected(t *testing.T) {
+	// A bitstream carrying the small part's IDCODE must not configure
+	// the large part.
+	reg := NewRegistry()
+	if err := reg.Register(echoCore{7, "echo"}); err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewDeviceFabric("agl1-l", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := DeviceByName("agl1-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s wordStream
+	s.raw(SyncWord)
+	s.reg(RegCMD, CmdRCRC)
+	s.reg(RegIDCODE, small.IDCode)
+	if _, err := large.Port().Write(s.bytes()); err == nil {
+		t.Error("large part accepted the small part's bitstream")
+	}
+}

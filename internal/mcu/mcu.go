@@ -1,0 +1,466 @@
+// Package mcu implements the PCI-based microcontroller and its mini OS —
+// the paper's §2.3 and §2.5 and the heart of the co-processor. The
+// controller owns the ROM and local RAM, drives the FPGA through three
+// modules (configuration, data input, output collection), and runs the
+// mini OS that keeps the Free Frame List and the Frame Replacement Table
+// and applies the Frame Replacement Policy when the fabric overflows.
+//
+// The controller is a PCI target: BAR0 is its command mailbox, BAR1 a
+// window onto local RAM. The host writes inputs into BAR1, fires a
+// command through BAR0, and reads results back from BAR1 — the exact
+// sequence of the paper's Figure 1 card.
+package mcu
+
+import (
+	"errors"
+	"fmt"
+
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/memory"
+	"agilefpga/internal/replace"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/trace"
+)
+
+// Clock frequencies of the card's domains.
+const (
+	// MCUHz is the microcontroller clock.
+	MCUHz = 50_000_000
+	// CfgHz is the configuration module / port clock.
+	CfgHz = 50_000_000
+	// FabricHz is the FPGA user-logic clock.
+	FabricHz = 100_000_000
+)
+
+// Config parameterises the controller.
+type Config struct {
+	Geometry fpga.Geometry
+	ROMBytes int
+	RAMBytes int
+	// ROMImage, when non-nil, boots the card from a pre-burned ROM image
+	// (see memory.LoadROM); ROMBytes is then ignored.
+	ROMImage []byte
+	// WindowBytes is the configuration module's decompression window
+	// (paper §2.3: "window by window").
+	WindowBytes int
+	// Policy is the frame replacement policy. Defaults to the paper's
+	// LRU when nil.
+	Policy replace.Policy
+	// AllowScatter permits non-contiguous frame placement (§2.5 allows
+	// functions to occupy non-contiguous frames). When false, placement
+	// is strictly contiguous first-fit.
+	AllowScatter bool
+	// DiffReload enables the difference-based reconfiguration flow in the
+	// spirit of XAPP290 (which the paper cites): eviction leaves frame
+	// contents in place and records their write generations; when the
+	// same function returns and its old frames are still free and
+	// untouched (generation-verified — no readback, which would cost as
+	// much as rewriting), the load skips the ROM/decompress/port path
+	// entirely and just re-activates the bits already in the fabric.
+	DiffReload bool
+	// Prefetch enables configuration prefetching: after each request the
+	// mini OS predicts the next function (first-order Markov on the
+	// request stream) and, if absent, loads it during host idle time so
+	// the next call hits. The prefetch may evict via the replacement
+	// policy; its cost is accounted separately, not on any request.
+	Prefetch bool
+}
+
+// Default sizing: a 512 KiB bitstream ROM and 64 KiB of staging RAM, on
+// the order of the paper's Stratix development board.
+const (
+	DefaultROMBytes    = 512 * 1024
+	DefaultRAMBytes    = 64 * 1024
+	DefaultWindowBytes = 256
+)
+
+// Controller is the microcontroller. It implements pci.Device.
+type Controller struct {
+	cfg Config
+
+	fab *fpga.Fabric
+	rom *memory.ROM
+	ram *memory.RAM
+
+	mcuDom *sim.Domain
+	cfgDom *sim.Domain
+	fabDom *sim.Domain
+
+	kernel kernel
+
+	// Mailbox registers (BAR0).
+	regs mailbox
+
+	lastBreakdown sim.Breakdown
+	lastOutputLen int
+
+	stats Stats
+
+	// traceLog, when set, receives structured events (nil = disabled).
+	traceLog *trace.Log
+}
+
+// SetTrace attaches an event log; pass nil to disable tracing.
+func (c *Controller) SetTrace(l *trace.Log) { c.traceLog = l }
+
+// emit records a trace event stamped with accumulated card time.
+func (c *Controller) emit(kind trace.Kind, fn uint16, frames, bytes int, detail string) {
+	if c.traceLog == nil {
+		return
+	}
+	c.traceLog.Record(trace.Event{
+		TimePS: uint64(c.stats.Phases.Total() + c.stats.PrefetchTime),
+		Kind:   kind,
+		Fn:     fn,
+		Frames: frames,
+		Bytes:  bytes,
+		Detail: detail,
+	})
+}
+
+// resident is one Frame Replacement Table entry: the frames an algorithm
+// occupies and the timestamp of its last access (paper §2.5).
+type resident struct {
+	frames     []int
+	inst       *fpga.Instance
+	lastAccess uint64
+	serial     uint16
+}
+
+// kernel is the mini-OS state.
+type kernel struct {
+	freeList []int // Free Frame List, ascending
+	table    map[uint16]*resident
+	policy   replace.Policy
+	now      uint64 // logical clock, bumped per request
+
+	// Prefetcher state: first-order Markov successor table and the set
+	// of functions brought in speculatively and not yet used.
+	succ       map[uint16]uint16
+	lastFn     uint16
+	haveLast   bool
+	prefetched map[uint16]bool
+
+	// Difference-based flow: per function, the frames a lazy eviction
+	// left intact and their write generations at eviction time.
+	stale map[uint16]*staleEntry
+}
+
+// staleEntry records a lazily evicted function's frames so a returning
+// load can prove them untouched and skip reconfiguration.
+type staleEntry struct {
+	frames []int
+	gens   []uint64
+	serial uint16
+}
+
+// Stats aggregates observable behaviour for the experiments.
+type Stats struct {
+	Requests     uint64
+	Hits         uint64
+	Misses       uint64
+	Evictions    uint64
+	FramesLoaded uint64
+	// RawConfigBytes counts decompressed configuration bytes pushed at
+	// the port; CompConfigBytes counts compressed bytes read from ROM.
+	RawConfigBytes  uint64
+	CompConfigBytes uint64
+	// Placements by kind.
+	ContigPlacements  uint64
+	ScatterPlacements uint64
+	// Difference-based flow: frames whose readback matched the image and
+	// were not rewritten.
+	FramesSkipped uint64
+	// Prefetcher: speculative loads issued, requests that hit because of
+	// one, and the off-request time the prefetches consumed.
+	Prefetches   uint64
+	PrefetchHits uint64
+	PrefetchTime sim.Time
+	// Scrubber: frames repaired after SEU detection and the total time
+	// spent in scrub passes.
+	SEURepairs uint64
+	ScrubTime  sim.Time
+	// Defrags counts stop-the-world compaction passes.
+	Defrags uint64
+	// Failures.
+	Errors uint64
+	// Phase time totals across all requests.
+	Phases sim.Breakdown
+}
+
+// Controller errors.
+var (
+	ErrTooLarge   = errors.New("mcu: function does not fit the device")
+	ErrNoCapacity = errors.New("mcu: cannot free enough frames")
+	ErrBadCommand = errors.New("mcu: unknown command")
+	ErrRAMWindow  = errors.New("mcu: I/O exceeds the RAM staging windows")
+)
+
+// New builds a controller, its fabric, ROM and RAM.
+func New(cfg Config, reg *fpga.Registry) (*Controller, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ROMBytes == 0 {
+		cfg.ROMBytes = DefaultROMBytes
+	}
+	if cfg.RAMBytes == 0 {
+		cfg.RAMBytes = DefaultRAMBytes
+	}
+	if cfg.WindowBytes == 0 {
+		cfg.WindowBytes = DefaultWindowBytes
+	}
+	if cfg.WindowBytes < 4 {
+		return nil, fmt.Errorf("mcu: window of %d bytes is below one port word", cfg.WindowBytes)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = replace.NewLRU()
+	}
+	var rom *memory.ROM
+	var err error
+	if cfg.ROMImage != nil {
+		rom, err = memory.LoadROM(cfg.ROMImage)
+	} else {
+		rom, err = memory.NewROM(cfg.ROMBytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ram, err := memory.NewRAM(cfg.RAMBytes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:    cfg,
+		fab:    fpga.NewFabric(cfg.Geometry, reg),
+		rom:    rom,
+		ram:    ram,
+		mcuDom: sim.NewDomain("mcu", MCUHz),
+		cfgDom: sim.NewDomain("cfg", CfgHz),
+		fabDom: sim.NewDomain("fabric", FabricHz),
+	}
+	c.kernel = kernel{
+		table:      make(map[uint16]*resident),
+		policy:     cfg.Policy,
+		succ:       make(map[uint16]uint16),
+		prefetched: make(map[uint16]bool),
+		stale:      make(map[uint16]*staleEntry),
+	}
+	for i := 0; i < cfg.Geometry.NumFrames(); i++ {
+		c.kernel.freeList = append(c.kernel.freeList, i)
+	}
+	return c, nil
+}
+
+// Fabric exposes the FPGA (read-only uses: readback, utilization).
+func (c *Controller) Fabric() *fpga.Fabric { return c.fab }
+
+// ROM exposes the bitstream store.
+func (c *Controller) ROM() *memory.ROM { return c.rom }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics (not the mini-OS state).
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// FreeFrames reports the current Free Frame List length.
+func (c *Controller) FreeFrames() int { return len(c.kernel.freeList) }
+
+// Resident reports whether fn is currently configured on the fabric.
+func (c *Controller) Resident(fn uint16) bool {
+	_, ok := c.kernel.table[fn]
+	return ok
+}
+
+// ResidentFunctions lists the functions currently on the fabric.
+func (c *Controller) ResidentFunctions() []uint16 {
+	out := make([]uint16, 0, len(c.kernel.table))
+	for fn := range c.kernel.table {
+		out = append(out, fn)
+	}
+	return out
+}
+
+// LastBreakdown reports the per-phase latency of the most recent command.
+func (c *Controller) LastBreakdown() sim.Breakdown { return c.lastBreakdown }
+
+// Download stores a compressed function bitstream and its record into ROM
+// (the host pushes these over PCI at provisioning time, paper §2.2). It
+// returns the on-card time consumed.
+func (c *Controller) Download(rec memory.Record, blob []byte) (sim.Time, error) {
+	if err := c.rom.Install(rec, blob); err != nil {
+		return 0, err
+	}
+	// ROM programming: model write cost like read cost plus a flat
+	// programming overhead per install.
+	cycles := memory.ReadCycles(len(blob)+memory.RecordBytes) + 64
+	return c.mcuDom.Advance(cycles), nil
+}
+
+// Evict removes fn from the fabric if resident (host-initiated eviction).
+func (c *Controller) Evict(fn uint16) bool {
+	if _, ok := c.kernel.table[fn]; !ok {
+		return false
+	}
+	c.evict(fn, &c.lastBreakdown)
+	return true
+}
+
+// Execute runs function fnID over input, loading it onto the fabric first
+// if needed. It returns the output and the per-phase latency breakdown of
+// this request (excluding PCI transfer, which the host side owns).
+func (c *Controller) Execute(fnID uint16, input []byte) ([]byte, sim.Breakdown, error) {
+	var br sim.Breakdown
+	out, err := c.execute(fnID, input, &br)
+	c.lastBreakdown = br
+	c.stats.Phases.AddAll(br)
+	if err != nil {
+		c.stats.Errors++
+		c.emit(trace.KindError, fnID, 0, 0, err.Error())
+		return nil, br, err
+	}
+	if c.cfg.Prefetch {
+		c.prefetchNext(fnID)
+	}
+	return out, br, nil
+}
+
+// prefetchNext is the configuration prefetcher: it learns first-order
+// request succession and speculatively loads the predicted next function
+// during host idle time. Its cost lands in Stats.PrefetchTime, never on a
+// request — that is the point: reconfiguration latency hides behind the
+// host's think time.
+func (c *Controller) prefetchNext(cur uint16) {
+	k := &c.kernel
+	if k.haveLast && k.lastFn != cur {
+		k.succ[k.lastFn] = cur
+	}
+	k.lastFn, k.haveLast = cur, true
+
+	pred, ok := k.succ[cur]
+	if !ok || pred == cur {
+		return
+	}
+	if _, resident := k.table[pred]; resident {
+		return
+	}
+	rec, scanned, err := c.findRecord(pred)
+	var br sim.Breakdown
+	br.Add(sim.PhaseROM, c.mcuDom.Advance(memory.ReadCycles(scanned*memory.RecordBytes)))
+	if err == nil {
+		if res, lerr := c.load(rec, &br); lerr == nil {
+			res.lastAccess = k.now
+			k.prefetched[pred] = true
+			c.stats.Prefetches++
+			c.emit(trace.KindPrefetch, pred, len(res.frames), 0, "")
+		}
+	}
+	c.stats.PrefetchTime += br.Total()
+}
+
+func (c *Controller) execute(fnID uint16, input []byte, br *sim.Breakdown) ([]byte, error) {
+	if len(input) == 0 {
+		return nil, fmt.Errorf("mcu: empty input for function %d", fnID)
+	}
+	c.stats.Requests++
+	c.kernel.now++
+	c.emit(trace.KindRequest, fnID, 0, len(input), "")
+
+	// Record lookup: the mini OS scans the ROM record table.
+	rec, scanned, err := c.findRecord(fnID)
+	br.Add(sim.PhaseROM, c.mcuDom.Advance(memory.ReadCycles(scanned*memory.RecordBytes)))
+	if err != nil {
+		return nil, err
+	}
+
+	// Hit or miss against the Frame Replacement Table.
+	res, hit := c.kernel.table[fnID]
+	if hit && res.serial == rec.Serial && res.inst.Valid() {
+		c.stats.Hits++
+		c.emit(trace.KindHit, fnID, len(res.frames), 0, "")
+		if c.kernel.prefetched[fnID] {
+			c.stats.PrefetchHits++
+		}
+	} else {
+		if hit {
+			// Stale residency (reinstalled function): evict and reload.
+			c.evict(fnID, br)
+		}
+		c.stats.Misses++
+		c.emit(trace.KindMiss, fnID, 0, 0, "")
+		res, err = c.load(rec, br)
+		if err != nil {
+			return nil, err
+		}
+	}
+	delete(c.kernel.prefetched, fnID)
+	res.lastAccess = c.kernel.now
+	c.kernel.policy.OnAccess(fnID, c.kernel.now)
+
+	// Data input module: stage input into RAM, then stream to the fabric
+	// in multiples of the record's input bus width (§2.3). The module is
+	// a DMA engine against dual-ported staging RAM, so the RAM access
+	// hides behind the bus beats; the charge is beats plus setup.
+	inWin, outWin := c.ram.Capacity()/2, c.ram.Capacity()/2
+	padded := padTo(input, int(rec.InBus))
+	if len(padded) > inWin {
+		return nil, fmt.Errorf("%w: input %d bytes, window %d", ErrRAMWindow, len(padded), inWin)
+	}
+	if err := c.ram.Write(0, padded); err != nil {
+		return nil, err
+	}
+	inBeats := uint64(len(padded)) / uint64(rec.InBus)
+	br.Add(sim.PhaseDataIn, c.mcuDom.Advance(inBeats+4))
+
+	// Execute on the fabric.
+	out, fabCycles, err := res.inst.Exec(padded)
+	if err != nil {
+		return nil, err
+	}
+	br.Add(sim.PhaseExec, c.fabDom.Advance(fabCycles))
+
+	// Output collection module: fabric → RAM in OutBus multiples.
+	outPadded := padTo(out, int(rec.OutBus))
+	if len(outPadded) > outWin {
+		return nil, fmt.Errorf("%w: output %d bytes, window %d", ErrRAMWindow, len(outPadded), outWin)
+	}
+	if err := c.ram.Write(inWin, outPadded); err != nil {
+		return nil, err
+	}
+	outBeats := uint64(len(outPadded)) / uint64(rec.OutBus)
+	br.Add(sim.PhaseDataOut, c.mcuDom.Advance(outBeats+4))
+
+	c.lastOutputLen = len(out)
+	return out, nil
+}
+
+// findRecord scans the record table like the mini OS would, reporting how
+// many records were touched.
+func (c *Controller) findRecord(fnID uint16) (memory.Record, int, error) {
+	for i := 0; i < c.rom.NumRecords(); i++ {
+		rec, err := c.rom.Record(i)
+		if err != nil {
+			return memory.Record{}, i + 1, err
+		}
+		if rec.FnID == fnID {
+			return rec, i + 1, nil
+		}
+	}
+	return memory.Record{}, c.rom.NumRecords(), fmt.Errorf("%w (function %d)", memory.ErrNoRecord, fnID)
+}
+
+// padTo zero-pads p to a multiple of unit (§2.3: every transfer is a
+// multiple of the interface bus width).
+func padTo(p []byte, unit int) []byte {
+	if unit <= 0 {
+		unit = 1
+	}
+	if len(p)%unit == 0 {
+		return p
+	}
+	n := (len(p)/unit + 1) * unit
+	out := make([]byte, n)
+	copy(out, p)
+	return out
+}

@@ -1,0 +1,400 @@
+package mcu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"agilefpga/internal/bitstream"
+	"agilefpga/internal/compress"
+	"agilefpga/internal/memory"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/trace"
+)
+
+// This file is the mini OS proper: placement against the Free Frame List,
+// eviction through the Frame Replacement Policy, and the configuration
+// module that streams a compressed bitstream from ROM onto the fabric.
+
+// load brings the function of rec onto the fabric: it finds frames
+// (evicting if necessary), streams and decompresses the bitstream window
+// by window into the configuration port, and activates the function.
+func (c *Controller) load(rec memory.Record, br *sim.Breakdown) (*resident, error) {
+	demand := int(rec.FrameCount)
+	if demand > c.cfg.Geometry.NumFrames() {
+		return nil, fmt.Errorf("%w: %q needs %d frames, device has %d",
+			ErrTooLarge, rec.Name, demand, c.cfg.Geometry.NumFrames())
+	}
+
+	// Difference-based fast path: the function's previous frames are
+	// still free and provably untouched, so its bits are already in the
+	// fabric — skip the whole ROM/decompress/configure pipeline.
+	if c.cfg.DiffReload {
+		if res, ok := c.reviveStale(rec, br); ok {
+			return res, nil
+		}
+	}
+
+	frames, err := c.place(demand, br)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := c.configure(rec, frames, br); err != nil {
+		// A failed configuration leaves the frames unusable until
+		// cleared; scrub them back onto the free list.
+		for _, fi := range frames {
+			_ = c.fab.ClearFrame(fi)
+		}
+		c.returnFrames(frames)
+		return nil, err
+	}
+
+	inst, err := c.fab.Activate(frames)
+	if err != nil {
+		for _, fi := range frames {
+			_ = c.fab.ClearFrame(fi)
+		}
+		c.returnFrames(frames)
+		return nil, fmt.Errorf("mcu: activation after load: %w", err)
+	}
+
+	res := &resident{frames: frames, inst: inst, serial: rec.Serial, lastAccess: c.kernel.now}
+	c.kernel.table[rec.FnID] = res
+	c.kernel.policy.OnInstall(rec.FnID, c.kernel.now)
+	return res, nil
+}
+
+// reviveStale checks the difference-flow bookkeeping: if every frame the
+// function occupied at its lazy eviction is still on the free list with
+// an unchanged write generation, the frames are removed from the free
+// list and the function re-activated in place. The cost is pure mini-OS
+// bookkeeping — the saving the difference-based flow exists for.
+func (c *Controller) reviveStale(rec memory.Record, br *sim.Breakdown) (*resident, bool) {
+	k := &c.kernel
+	se := k.stale[rec.FnID]
+	if se == nil {
+		return nil, false
+	}
+	delete(k.stale, rec.FnID) // single-use: either revived now or gone
+	if se.serial != rec.Serial {
+		return nil, false
+	}
+	free := make(map[int]bool, len(k.freeList))
+	for _, fi := range k.freeList {
+		free[fi] = true
+	}
+	for i, fi := range se.frames {
+		if !free[fi] || c.fab.Generation(fi) != se.gens[i] {
+			return nil, false
+		}
+	}
+	inst, err := c.fab.Activate(se.frames)
+	if err != nil {
+		return nil, false
+	}
+	remaining := k.freeList[:0]
+	member := make(map[int]bool, len(se.frames))
+	for _, fi := range se.frames {
+		member[fi] = true
+	}
+	for _, fi := range k.freeList {
+		if !member[fi] {
+			remaining = append(remaining, fi)
+		}
+	}
+	k.freeList = remaining
+
+	res := &resident{frames: se.frames, inst: inst, serial: rec.Serial, lastAccess: k.now}
+	k.table[rec.FnID] = res
+	k.policy.OnInstall(rec.FnID, k.now)
+	c.stats.FramesSkipped += uint64(len(se.frames))
+	br.Add(sim.PhaseOverhead, c.mcuDom.Advance(uint64(8+2*len(se.frames))))
+	c.emit(trace.KindRevive, rec.FnID, len(se.frames), 0, "")
+	return res, true
+}
+
+// place returns `demand` frames from the Free Frame List, evicting
+// algorithms chosen by the Frame Replacement Policy until the demand fits
+// (paper §2.5). Placement prefers a contiguous run; when none exists and
+// scatter is allowed, any free frames serve.
+func (c *Controller) place(demand int, br *sim.Breakdown) ([]int, error) {
+	for {
+		if frames, contiguous, ok := c.takeFrames(demand); ok {
+			if contiguous {
+				c.stats.ContigPlacements++
+			} else {
+				c.stats.ScatterPlacements++
+			}
+			// Free-list bookkeeping: a handful of MCU cycles per frame.
+			br.Add(sim.PhaseOverhead, c.mcuDom.Advance(uint64(4+2*demand)))
+			c.emit(trace.KindPlace, 0, demand, 0, "")
+			return frames, nil
+		}
+		victim, err := c.kernel.policy.Victim()
+		if err != nil {
+			return nil, fmt.Errorf("%w: need %d frames, %d free and nothing to evict (%v)",
+				ErrNoCapacity, demand, len(c.kernel.freeList), err)
+		}
+		c.evict(victim, br)
+	}
+}
+
+// takeFrames removes a frame set from the free list: a contiguous run if
+// one exists, else (scatter allowed) the lowest free frames.
+func (c *Controller) takeFrames(demand int) (frames []int, contiguous, ok bool) {
+	fl := c.kernel.freeList
+	if demand <= 0 || len(fl) < demand {
+		return nil, false, false
+	}
+	// Contiguous first-fit over the sorted free list.
+	start := 0
+	for i := 0; i < len(fl); i++ {
+		if i > 0 && fl[i] != fl[i-1]+1 {
+			start = i
+		}
+		if i-start+1 == demand {
+			frames = append([]int(nil), fl[start:i+1]...)
+			c.kernel.freeList = append(fl[:start], fl[i+1:]...)
+			return frames, true, true
+		}
+	}
+	if !c.cfg.AllowScatter {
+		return nil, false, false
+	}
+	frames = append([]int(nil), fl[:demand]...)
+	c.kernel.freeList = append([]int(nil), fl[demand:]...)
+	return frames, false, true
+}
+
+// evict removes fn from the fabric, clearing its frames and returning
+// them to the Free Frame List.
+func (c *Controller) evict(fn uint16, br *sim.Breakdown) {
+	res, ok := c.kernel.table[fn]
+	if !ok {
+		return
+	}
+	if c.cfg.DiffReload {
+		// Lazy eviction: leave the bits in place and remember their
+		// write generations so a returning load can prove them intact.
+		gens := make([]uint64, len(res.frames))
+		for i, fi := range res.frames {
+			gens[i] = c.fab.Generation(fi)
+		}
+		c.kernel.stale[fn] = &staleEntry{frames: res.frames, gens: gens, serial: res.serial}
+	} else {
+		// Scrub the logic space.
+		for _, fi := range res.frames {
+			_ = c.fab.ClearFrame(fi)
+		}
+	}
+	c.returnFrames(res.frames)
+	delete(c.kernel.table, fn)
+	c.kernel.policy.OnEvict(fn)
+	c.stats.Evictions++
+	c.emit(trace.KindEvict, fn, len(res.frames), 0, "")
+	// Table update + frame scrubbing cost.
+	br.Add(sim.PhaseOverhead, c.mcuDom.Advance(uint64(8+2*len(res.frames))))
+}
+
+// returnFrames merges frames back into the sorted free list.
+func (c *Controller) returnFrames(frames []int) {
+	c.kernel.freeList = append(c.kernel.freeList, frames...)
+	sort.Ints(c.kernel.freeList)
+}
+
+// Defrag compacts the fabric: every resident function is reloaded from
+// ROM into the lowest free frames, leaving the free space as one
+// contiguous run. It is a stop-the-world operation costing a full
+// reconfiguration of everything resident — worth it for a
+// contiguous-only placer drowning in fragmentation, pointless when
+// scatter placement is allowed (E4 quantifies both). Replacement-policy
+// recency is preserved by reloading in least-recently-used-first order,
+// so the policy sees the same relative ages it saw before.
+func (c *Controller) Defrag() (moved int, cost sim.Time, err error) {
+	var br sim.Breakdown
+	// Snapshot residents ordered by last access (oldest first).
+	type entry struct {
+		fn   uint16
+		last uint64
+	}
+	var order []entry
+	for fn, res := range c.kernel.table {
+		order = append(order, entry{fn, res.lastAccess})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].last != order[j].last {
+			return order[i].last < order[j].last
+		}
+		return order[i].fn < order[j].fn
+	})
+	for _, e := range order {
+		c.evict(e.fn, &br)
+	}
+	// Compaction must actually move things: drop any difference-flow
+	// stale entries so the reloads cannot revive in their old positions.
+	for fn := range c.kernel.stale {
+		delete(c.kernel.stale, fn)
+	}
+	for _, e := range order {
+		rec, ferr := c.rom.FindByID(e.fn)
+		if ferr != nil {
+			return moved, br.Total(), ferr
+		}
+		if _, lerr := c.load(rec, &br); lerr != nil {
+			return moved, br.Total(), fmt.Errorf("mcu: defrag reload of fn %d: %w", e.fn, lerr)
+		}
+		moved++
+	}
+	c.stats.Defrags++
+	c.stats.Phases.AddAll(br)
+	return moved, br.Total(), nil
+}
+
+// configure is the configuration module (paper §2.3): it reads the
+// compressed bitstream from ROM, decompresses it window by window, and
+// feeds frame images to the configuration port wrapped in FAR/FDRI
+// packets targeting the placed frames.
+//
+// The ROM stores position-independent frame images (compressed), so the
+// same blob can be relocated to whatever frames the placer found — the
+// relocation trick that makes run-time placement possible at all.
+func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdown) error {
+	blob, err := c.rom.Blob(rec)
+	if err != nil {
+		return err
+	}
+	br.Add(sim.PhaseROM, c.mcuDom.Advance(memory.ReadCycles(len(blob))))
+	c.stats.CompConfigBytes += uint64(len(blob))
+
+	codec, err := compress.ByID(rec.CodecID, c.cfg.Geometry.FrameBytes())
+	if err != nil {
+		return err
+	}
+	reader, err := codec.NewReader(blob)
+	if err != nil {
+		return err
+	}
+
+	// Window-by-window decompression into per-frame images.
+	frameBytes := c.cfg.Geometry.FrameBytes()
+	images := make([][]byte, 0, len(frames))
+	frameBuf := make([]byte, 0, frameBytes)
+	window := make([]byte, c.cfg.WindowBytes)
+	rawTotal := 0
+	windows := 0
+	for {
+		n, rerr := reader.Read(window)
+		if n > 0 {
+			windows++
+			rawTotal += n
+			chunk := window[:n]
+			for len(chunk) > 0 {
+				take := frameBytes - len(frameBuf)
+				if take > len(chunk) {
+					take = len(chunk)
+				}
+				frameBuf = append(frameBuf, chunk[:take]...)
+				chunk = chunk[take:]
+				if len(frameBuf) == frameBytes {
+					images = append(images, append([]byte(nil), frameBuf...))
+					frameBuf = frameBuf[:0]
+				}
+			}
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			return fmt.Errorf("mcu: decompressing %q: %w", rec.Name, rerr)
+		}
+	}
+	if len(frameBuf) != 0 {
+		return fmt.Errorf("mcu: bitstream of %q is not frame-aligned (%d trailing bytes)", rec.Name, len(frameBuf))
+	}
+	if len(images) != len(frames) {
+		return fmt.Errorf("mcu: bitstream of %q holds %d frames, record says %d", rec.Name, len(images), len(frames))
+	}
+
+	// Wrap the relocated images in configuration packets and push them
+	// through the port.
+	stream, err := bitstream.Assemble(c.cfg.Geometry, c.fab.IDCode(), frames, images)
+	if err != nil {
+		return err
+	}
+	port := c.fab.Port()
+	port.Reset()
+	if _, err := port.Write(stream); err != nil {
+		return fmt.Errorf("mcu: configuration port: %w", err)
+	}
+	portCycles := port.TakeCycles()
+
+	// Timing of the configuration module. The module is double-buffered:
+	// while the port drains window k, the decompressor fills window k+1,
+	// so the steady state runs at the slower of the two and only the
+	// first window's fill is exposed. Bit-serial decoders (huffman) are
+	// slower than the byte-wide port and become the bottleneck; byte-rate
+	// decoders hide entirely behind the port. Charged as:
+	//
+	//	configure  = port stream time (the floor)
+	//	decompress = first-window fill + any decoder-over-port excess
+	//	overhead   = per-window buffer management on the MCU
+	decompCycles := uint64(float64(rawTotal)*codec.CyclesPerByte()) + 1
+	fillBytes := rawTotal
+	if c.cfg.WindowBytes < fillBytes {
+		fillBytes = c.cfg.WindowBytes
+	}
+	fillCycles := uint64(float64(fillBytes) * codec.CyclesPerByte())
+	exposed := fillCycles
+	if decompCycles > portCycles {
+		exposed += decompCycles - portCycles
+	}
+	br.Add(sim.PhaseDecompress, c.cfgDom.Advance(exposed))
+	br.Add(sim.PhaseConfigure, c.cfgDom.Advance(portCycles))
+	br.Add(sim.PhaseOverhead, c.mcuDom.Advance(uint64(windows)*8))
+
+	c.stats.FramesLoaded += uint64(len(frames))
+	c.stats.RawConfigBytes += uint64(rawTotal)
+	c.emit(trace.KindConfigure, rec.FnID, len(frames), rawTotal, codec.Name())
+	return nil
+}
+
+// CheckInvariants verifies the mini-OS bookkeeping: the Free Frame List
+// and the Frame Replacement Table partition the frame set, no two
+// algorithms share a frame, and every resident frame carries the right
+// signature. Tests and failure-injection call it after every operation.
+func (c *Controller) CheckInvariants() error {
+	seen := make(map[int]string)
+	for _, fi := range c.kernel.freeList {
+		if fi < 0 || fi >= c.cfg.Geometry.NumFrames() {
+			return fmt.Errorf("mcu: free list holds bogus frame %d", fi)
+		}
+		if owner, dup := seen[fi]; dup {
+			return fmt.Errorf("mcu: frame %d on free list twice (%s)", fi, owner)
+		}
+		seen[fi] = "free"
+	}
+	for fn, res := range c.kernel.table {
+		for _, fi := range res.frames {
+			if owner, dup := seen[fi]; dup {
+				return fmt.Errorf("mcu: frame %d owned by fn %d and %s", fi, fn, owner)
+			}
+			seen[fi] = fmt.Sprintf("fn %d", fn)
+			sig, ok := c.fab.FrameSignature(fi)
+			if !ok {
+				return fmt.Errorf("mcu: resident fn %d frame %d has no valid signature", fn, fi)
+			}
+			if sig.FnID != fn {
+				return fmt.Errorf("mcu: frame %d signed by fn %d but owned by fn %d", fi, sig.FnID, fn)
+			}
+		}
+	}
+	if len(seen) != c.cfg.Geometry.NumFrames() {
+		return fmt.Errorf("mcu: %d frames accounted for, device has %d", len(seen), c.cfg.Geometry.NumFrames())
+	}
+	return nil
+}
+
+// PolicyName reports the active replacement policy.
+func (c *Controller) PolicyName() string { return c.kernel.policy.Name() }

@@ -1,0 +1,166 @@
+package mcu
+
+import (
+	"bytes"
+	"testing"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/sim"
+)
+
+func TestScrubCleanFabric(t *testing.T) {
+	c := newController(t, defaultCfg())
+	f := algos.DES()
+	install(t, c, f, "framediff")
+	if _, _, err := c.Execute(f.ID(), []byte("8bytes!!")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesChecked == 0 {
+		t.Error("scrub checked nothing")
+	}
+	if rep.FramesRepaired != 0 {
+		t.Errorf("clean fabric needed %d repairs", rep.FramesRepaired)
+	}
+	if rep.Time == 0 {
+		t.Error("scrub was free")
+	}
+}
+
+func TestScrubRepairsSEU(t *testing.T) {
+	c := newController(t, defaultCfg())
+	f := algos.AES128()
+	install(t, c, f, "lz77")
+	in := []byte("0123456789abcdef")
+	if _, _, err := c.Execute(f.ID(), in); err != nil {
+		t.Fatal(err)
+	}
+	frames := c.FramesOf(f.ID())
+	if len(frames) == 0 {
+		t.Fatal("no resident frames")
+	}
+	// Flip a logic bit well past the signature area.
+	if err := c.Fabric().InjectSEU(frames[2], 400); err != nil {
+		t.Fatal(err)
+	}
+	// The SEU is invisible to the bookkeeping: the generation counter did
+	// not move and the instance still looks valid.
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("SEU in logic bits tripped bookkeeping: %v", err)
+	}
+
+	rep, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesRepaired != 1 {
+		t.Fatalf("repaired %d frames, want 1", rep.FramesRepaired)
+	}
+	if c.Stats().SEURepairs != 1 {
+		t.Error("repair not counted")
+	}
+	// The function still runs, instance intact, and a second scrub finds
+	// nothing.
+	out, _, err := c.Execute(f.ID(), in)
+	if err != nil {
+		t.Fatalf("execute after repair: %v", err)
+	}
+	want, _ := f.Exec(in)
+	if !bytes.Equal(out, want) {
+		t.Error("wrong output after repair")
+	}
+	if c.Stats().Hits == 0 {
+		t.Error("repair evicted the function (should re-activate in place)")
+	}
+	rep2, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.FramesRepaired != 0 {
+		t.Errorf("second scrub repaired %d frames", rep2.FramesRepaired)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScrubSignatureSEUDetected(t *testing.T) {
+	// An upset inside the signature area breaks the frame's CRC; the
+	// scrubber must restore it before the mini OS trips over it.
+	c := newController(t, defaultCfg())
+	f := algos.CRC32()
+	install(t, c, f, "none")
+	if _, _, err := c.Execute(f.ID(), []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	frames := c.FramesOf(f.ID())
+	if err := c.Fabric().InjectSEU(frames[0], 3); err != nil { // inside SigBytes
+		t.Fatal(err)
+	}
+	rep, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesRepaired != 1 {
+		t.Fatalf("repaired %d", rep.FramesRepaired)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScrubMultipleFunctionsAndSEUs(t *testing.T) {
+	c := newController(t, defaultCfg())
+	fns := []*algos.Function{algos.DES(), algos.FIR(), algos.GFMul()}
+	for _, f := range fns {
+		install(t, c, f, "rle")
+		if _, _, err := c.Execute(f.ID(), make([]byte, f.BlockBytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(99)
+	injected := 0
+	for _, f := range fns {
+		for _, fi := range c.FramesOf(f.ID()) {
+			if rng.Intn(2) == 0 {
+				bit := 100 + rng.Intn(4000)
+				if err := c.Fabric().InjectSEU(fi, bit); err != nil {
+					t.Fatal(err)
+				}
+				injected++
+			}
+		}
+	}
+	rep, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesRepaired != injected {
+		t.Errorf("repaired %d, injected into %d frames", rep.FramesRepaired, injected)
+	}
+	for _, f := range fns {
+		in := make([]byte, f.BlockBytes)
+		in[0] = 1
+		out, _, err := c.Execute(f.ID(), in)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		want, _ := f.Exec(in)
+		if !bytes.Equal(out, want) {
+			t.Errorf("%s wrong after mass repair", f.Name())
+		}
+	}
+}
+
+func TestInjectSEUValidation(t *testing.T) {
+	c := newController(t, defaultCfg())
+	if err := c.Fabric().InjectSEU(-1, 0); err == nil {
+		t.Error("bad frame accepted")
+	}
+	if err := c.Fabric().InjectSEU(0, 1<<30); err == nil {
+		t.Error("bad bit accepted")
+	}
+}

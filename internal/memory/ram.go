@@ -1,0 +1,56 @@
+package memory
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RAM is the word-addressed local store the microcontroller stages
+// function inputs and outputs in (paper §2.3). Accesses are bounds-checked
+// and cost-modelled through a 32-bit interface.
+type RAM struct {
+	data []byte
+}
+
+// RAMBytesPerCycle is the local RAM port width: 32-bit SRAM delivers 4
+// bytes per microcontroller cycle.
+const RAMBytesPerCycle = 4
+
+// ErrRAMBounds reports an out-of-range RAM access.
+var ErrRAMBounds = errors.New("memory: RAM access out of bounds")
+
+// NewRAM returns a RAM of the given capacity.
+func NewRAM(capacity int) (*RAM, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("memory: invalid RAM capacity %d", capacity)
+	}
+	return &RAM{data: make([]byte, capacity)}, nil
+}
+
+// Capacity reports the RAM size in bytes.
+func (r *RAM) Capacity() int { return len(r.data) }
+
+// Write copies p into RAM at off.
+func (r *RAM) Write(off int, p []byte) error {
+	if off < 0 || off+len(p) > len(r.data) {
+		return fmt.Errorf("%w: write [%d, %d) of %d", ErrRAMBounds, off, off+len(p), len(r.data))
+	}
+	copy(r.data[off:], p)
+	return nil
+}
+
+// Read copies n bytes at off into a fresh slice.
+func (r *RAM) Read(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(r.data) {
+		return nil, fmt.Errorf("%w: read [%d, %d) of %d", ErrRAMBounds, off, off+n, len(r.data))
+	}
+	out := make([]byte, n)
+	copy(out, r.data[off:])
+	return out, nil
+}
+
+// AccessCycles reports microcontroller cycles to move n bytes through the
+// RAM port.
+func AccessCycles(n int) uint64 {
+	return uint64((n + RAMBytesPerCycle - 1) / RAMBytesPerCycle)
+}

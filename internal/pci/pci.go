@@ -1,0 +1,223 @@
+// Package pci is a transaction-level model of the 32-bit/33 MHz PCI bus
+// the co-processor card sits on (the paper's proof-of-concept uses an
+// Altera Stratix PCI development board). It models what the experiments
+// need from PCI: per-transaction arbitration and address overhead, burst
+// data phases, burst-length limits, and a configuration space for device
+// discovery — enough that host↔board transfer cost scales the way a real
+// bus makes it scale.
+package pci
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Bus timing model, in PCI clock cycles.
+const (
+	// BusHz is the PCI clock.
+	BusHz = 33_000_000
+	// WordBytes is the bus width.
+	WordBytes = 4
+	// MaxBurstBytes caps one burst transaction (latency-timer expiry
+	// forces re-arbitration on long transfers).
+	MaxBurstBytes = 256
+
+	arbCycles  = 3 // bus arbitration before each transaction
+	addrCycles = 1 // address phase
+	waitCycles = 1 // initial target wait state
+)
+
+// PCI errors.
+var (
+	ErrNoDevice = errors.New("pci: no device at slot")
+	ErrBadBAR   = errors.New("pci: access to unimplemented BAR")
+	ErrBounds   = errors.New("pci: access beyond BAR window")
+	ErrSlotUsed = errors.New("pci: slot already occupied")
+)
+
+// Device is a PCI target: a set of base address register (BAR) windows.
+type Device interface {
+	// BARSize reports the size in bytes of the BAR window, 0 if the BAR
+	// is unimplemented.
+	BARSize(bar int) uint32
+	// ReadBAR fills p from the BAR window at off.
+	ReadBAR(bar int, off uint32, p []byte) error
+	// WriteBAR stores p into the BAR window at off.
+	WriteBAR(bar int, off uint32, p []byte) error
+}
+
+// ConfigSpace is the identification header of a device.
+type ConfigSpace struct {
+	VendorID uint16
+	DeviceID uint16
+	Class    uint32
+}
+
+// Standard configuration registers (byte offsets).
+const (
+	CfgRegID    = 0x00 // device ID << 16 | vendor ID
+	CfgRegClass = 0x08 // class code
+	CfgRegBAR0  = 0x10 // BAR0 size probe; BARn at 0x10+4n
+)
+
+type slot struct {
+	dev Device
+	cfg ConfigSpace
+}
+
+// Bus is a single-segment PCI bus with numbered slots.
+type Bus struct {
+	slots map[int]*slot
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{slots: make(map[int]*slot)} }
+
+// Attach plugs a device into a slot.
+func (b *Bus) Attach(slotNo int, d Device, cfg ConfigSpace) error {
+	if d == nil {
+		return errors.New("pci: Attach(nil device)")
+	}
+	if _, used := b.slots[slotNo]; used {
+		return fmt.Errorf("%w: %d", ErrSlotUsed, slotNo)
+	}
+	b.slots[slotNo] = &slot{dev: d, cfg: cfg}
+	return nil
+}
+
+// Slots lists occupied slot numbers.
+func (b *Bus) Slots() []int {
+	var out []int
+	for s := range b.slots {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (b *Bus) at(slotNo int) (*slot, error) {
+	s, ok := b.slots[slotNo]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoDevice, slotNo)
+	}
+	return s, nil
+}
+
+// ConfigRead performs a type-0 configuration read. Unoccupied slots
+// return all-ones (master abort), as on a real bus, with no error.
+func (b *Bus) ConfigRead(slotNo int, reg int) (uint32, uint64) {
+	cycles := uint64(arbCycles + addrCycles + waitCycles + 1)
+	s, ok := b.slots[slotNo]
+	if !ok {
+		return 0xFFFFFFFF, cycles
+	}
+	switch {
+	case reg == CfgRegID:
+		return uint32(s.cfg.DeviceID)<<16 | uint32(s.cfg.VendorID), cycles
+	case reg == CfgRegClass:
+		return s.cfg.Class, cycles
+	case reg >= CfgRegBAR0 && reg < CfgRegBAR0+24 && (reg-CfgRegBAR0)%4 == 0:
+		return s.dev.BARSize((reg - CfgRegBAR0) / 4), cycles
+	default:
+		return 0, cycles
+	}
+}
+
+// TransferCycles is the bus cost of moving n bytes via burst
+// transactions: each MaxBurstBytes chunk pays arbitration, address and
+// wait-state overhead plus one cycle per data word.
+func TransferCycles(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	var cycles uint64
+	for n > 0 {
+		chunk := n
+		if chunk > MaxBurstBytes {
+			chunk = MaxBurstBytes
+		}
+		words := (chunk + WordBytes - 1) / WordBytes
+		cycles += arbCycles + addrCycles + waitCycles + uint64(words)
+		n -= chunk
+	}
+	return cycles
+}
+
+// wordCycles is the cost of one single-word (non-burst) transaction.
+const wordCycles = arbCycles + addrCycles + waitCycles + 1
+
+func (b *Bus) checkAccess(s *slot, bar int, off uint32, n int) error {
+	size := s.dev.BARSize(bar)
+	if size == 0 {
+		return fmt.Errorf("%w: BAR%d", ErrBadBAR, bar)
+	}
+	if uint64(off)+uint64(n) > uint64(size) {
+		return fmt.Errorf("%w: BAR%d [%d, %d) of %d", ErrBounds, bar, off, uint64(off)+uint64(n), size)
+	}
+	return nil
+}
+
+// Read bursts n bytes out of a device BAR window. It returns the data and
+// the bus cycles consumed.
+func (b *Bus) Read(slotNo, bar int, off uint32, n int) ([]byte, uint64, error) {
+	s, err := b.at(slotNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := b.checkAccess(s, bar, off, n); err != nil {
+		return nil, 0, err
+	}
+	p := make([]byte, n)
+	if err := s.dev.ReadBAR(bar, off, p); err != nil {
+		return nil, 0, err
+	}
+	return p, TransferCycles(n), nil
+}
+
+// Write bursts p into a device BAR window, returning bus cycles consumed.
+func (b *Bus) Write(slotNo, bar int, off uint32, p []byte) (uint64, error) {
+	s, err := b.at(slotNo)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.checkAccess(s, bar, off, len(p)); err != nil {
+		return 0, err
+	}
+	if err := s.dev.WriteBAR(bar, off, p); err != nil {
+		return 0, err
+	}
+	return TransferCycles(len(p)), nil
+}
+
+// ReadWord performs a single-word MMIO read (register access).
+func (b *Bus) ReadWord(slotNo, bar int, off uint32) (uint32, uint64, error) {
+	s, err := b.at(slotNo)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := b.checkAccess(s, bar, off, WordBytes); err != nil {
+		return 0, 0, err
+	}
+	var buf [WordBytes]byte
+	if err := s.dev.ReadBAR(bar, off, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), wordCycles, nil
+}
+
+// WriteWord performs a single-word MMIO write (register access).
+func (b *Bus) WriteWord(slotNo, bar int, off uint32, v uint32) (uint64, error) {
+	s, err := b.at(slotNo)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.checkAccess(s, bar, off, WordBytes); err != nil {
+		return 0, err
+	}
+	var buf [WordBytes]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	if err := s.dev.WriteBAR(bar, off, buf[:]); err != nil {
+		return 0, err
+	}
+	return wordCycles, nil
+}

@@ -1,0 +1,146 @@
+// Package trace records the co-processor's behaviour as a structured
+// event log: every request, hit, miss, placement, eviction,
+// configuration, prefetch and error, stamped with the card's virtual
+// time. Logs export as JSON lines for offline analysis (agilesim -trace)
+// and power the session summaries the examples print.
+//
+// Recording is opt-in and allocation-light: a nil *Log is a valid sink
+// that records nothing, so instrumented code never branches on "is
+// tracing enabled" beyond the nil receiver check Go gives for free.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds.
+const (
+	KindRequest   Kind = "request"   // a host call arrived (fn)
+	KindHit       Kind = "hit"       // served from resident frames
+	KindMiss      Kind = "miss"      // function had to be loaded
+	KindPlace     Kind = "place"     // frames allocated (frames)
+	KindEvict     Kind = "evict"     // function displaced (fn, frames)
+	KindConfigure Kind = "configure" // bitstream written (fn, bytes)
+	KindRevive    Kind = "revive"    // diff-flow revival (fn, frames)
+	KindPrefetch  Kind = "prefetch"  // speculative load (fn)
+	KindError     Kind = "error"     // request failed (detail)
+)
+
+// Event is one log entry. TimePS is the card's virtual time in
+// picoseconds at the moment of recording.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	TimePS uint64 `json:"time_ps"`
+	Kind   Kind   `json:"kind"`
+	Fn     uint16 `json:"fn,omitempty"`
+	Frames int    `json:"frames,omitempty"`
+	Bytes  int    `json:"bytes,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Log is an in-memory event recorder. The zero value is ready to use; a
+// nil *Log silently discards events.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	seq    uint64
+	// Cap bounds the log length; beyond it, the oldest half is dropped
+	// and a marker event notes the loss. Zero means 1<<20 events.
+	Cap int
+}
+
+// Record appends an event. Safe on a nil receiver (no-op) and for
+// concurrent use.
+func (l *Log) Record(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cap := l.Cap
+	if cap == 0 {
+		cap = 1 << 20
+	}
+	if len(l.events) >= cap {
+		dropped := len(l.events) / 2
+		l.events = append(l.events[:0], l.events[dropped:]...)
+		l.seq++
+		l.events = append(l.events, Event{
+			Seq: l.seq, Kind: KindError,
+			Detail: fmt.Sprintf("trace overflow: dropped %d oldest events", dropped),
+		})
+	}
+	l.seq++
+	e.Seq = l.seq
+	l.events = append(l.events, e)
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the log.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Count tallies events of one kind.
+func (l *Log) Count(k Kind) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL streams the log as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON-lines log (the inverse of WriteJSONL).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Record(Event{Kind: KindRequest})
+	if l.Len() != 0 || l.Events() != nil || l.Count(KindRequest) != 0 {
+		t.Error("nil log misbehaved")
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Error("nil log wrote output")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	l := &Log{}
+	l.Record(Event{Kind: KindRequest, Fn: 3, TimePS: 100})
+	l.Record(Event{Kind: KindHit, Fn: 3, TimePS: 150})
+	l.Record(Event{Kind: KindRequest, Fn: 4, TimePS: 200})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Count(KindRequest) != 2 || l.Count(KindHit) != 1 || l.Count(KindEvict) != 0 {
+		t.Error("counts wrong")
+	}
+	ev := l.Events()
+	if ev[0].Seq != 1 || ev[2].Seq != 3 {
+		t.Error("sequence numbers wrong")
+	}
+	// Events() is a copy.
+	ev[0].Fn = 99
+	if l.Events()[0].Fn != 3 {
+		t.Error("Events aliases internal storage")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := &Log{}
+	l.Record(Event{Kind: KindConfigure, Fn: 7, Frames: 9, Bytes: 6048, Detail: "framediff", TimePS: 42})
+	l.Record(Event{Kind: KindError, Detail: "boom"})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("%d lines", got)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != l.Events()[0] || events[1].Detail != "boom" {
+		t.Errorf("round trip mismatch: %+v", events)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestOverflowDropsOldest(t *testing.T) {
+	l := &Log{Cap: 10}
+	for i := 0; i < 25; i++ {
+		l.Record(Event{Kind: KindRequest, Fn: uint16(i)})
+	}
+	if l.Len() > 12 {
+		t.Errorf("log grew to %d despite cap", l.Len())
+	}
+	found := false
+	for _, e := range l.Events() {
+		if e.Kind == KindError && strings.Contains(e.Detail, "overflow") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no overflow marker")
+	}
+	// The newest event survives.
+	ev := l.Events()
+	if ev[len(ev)-1].Fn != 24 {
+		t.Error("newest event lost")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	l := &Log{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(Event{Kind: KindRequest, Fn: uint16(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("Len = %d, want 800", l.Len())
+	}
+}
