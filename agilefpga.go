@@ -19,6 +19,11 @@
 // All timing is virtual (cycle-accurate cost models per clock domain), so
 // results are deterministic and independent of the machine running the
 // simulation.
+//
+// Every CoProcessor method is safe for concurrent use (one lock per
+// card), and NewCluster scales out to many cards behind a dispatcher
+// with synchronous (Call), asynchronous (Submit/Wait) and bulk (Serve)
+// entry points — see Cluster.
 package agilefpga
 
 import (
@@ -62,6 +67,11 @@ type Config struct {
 	// Prefetch enables configuration prefetching: the mini OS predicts
 	// the next function and loads it during host idle time.
 	Prefetch bool
+	// DecodeCacheBytes bounds the decoded-frame cache: local RAM holding
+	// recently decoded configuration images so a reload skips bitstream
+	// decompression (the configuration port is still paid). Zero
+	// disables the cache.
+	DecodeCacheBytes int
 }
 
 // Function describes one member of the algorithm bank.
@@ -125,6 +135,11 @@ type Stats struct {
 	// Prefetches and PrefetchHits report the configuration prefetcher.
 	Prefetches   uint64
 	PrefetchHits uint64
+	// DecompCacheHits and DecompCacheBytes report reloads served from
+	// the decoded-frame cache and the decoded bytes they avoided
+	// re-decompressing.
+	DecompCacheHits  uint64
+	DecompCacheBytes uint64
 }
 
 // BatchResult reports a pipelined batch of calls (see CallBatch).
@@ -151,16 +166,17 @@ func New(cfg Config) (*CoProcessor, error) {
 		geom = fpga.Geometry{Rows: cfg.Rows, Cols: cfg.Cols}
 	}
 	inner, err := core.New(core.Config{
-		Geometry:    geom,
-		ROMBytes:    cfg.ROMBytes,
-		RAMBytes:    cfg.RAMBytes,
-		WindowBytes: cfg.WindowBytes,
-		Codec:       cfg.Codec,
-		Policy:      cfg.Policy,
-		PolicySeed:  cfg.PolicySeed,
-		NoScatter:   cfg.ContiguousOnly,
-		DiffReload:  cfg.DiffReload,
-		Prefetch:    cfg.Prefetch,
+		Geometry:         geom,
+		ROMBytes:         cfg.ROMBytes,
+		RAMBytes:         cfg.RAMBytes,
+		WindowBytes:      cfg.WindowBytes,
+		Codec:            cfg.Codec,
+		Policy:           cfg.Policy,
+		PolicySeed:       cfg.PolicySeed,
+		NoScatter:        cfg.ContiguousOnly,
+		DiffReload:       cfg.DiffReload,
+		Prefetch:         cfg.Prefetch,
+		DecodeCacheBytes: cfg.DecodeCacheBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -185,12 +201,8 @@ func (cp *CoProcessor) InstallAll() error {
 	return err
 }
 
-// Call executes the named function on the card, configuring it on demand.
-func (cp *CoProcessor) Call(name string, input []byte) (*Result, error) {
-	r, err := cp.inner.Call(name, input)
-	if err != nil {
-		return nil, err
-	}
+// resultOf converts a core call result to the public form.
+func resultOf(r *core.CallResult) *Result {
 	phases := make(map[string]time.Duration, sim.NumPhases)
 	for p := 0; p < sim.NumPhases; p++ {
 		if t := r.Breakdown.Get(sim.Phase(p)); t != 0 {
@@ -202,7 +214,16 @@ func (cp *CoProcessor) Call(name string, input []byte) (*Result, error) {
 		Latency: r.Latency.Duration(),
 		Hit:     r.Hit,
 		Phases:  phases,
-	}, nil
+	}
+}
+
+// Call executes the named function on the card, configuring it on demand.
+func (cp *CoProcessor) Call(name string, input []byte) (*Result, error) {
+	r, err := cp.inner.Call(name, input)
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(r), nil
 }
 
 // CallBatch executes the named function over every input through a
@@ -238,7 +259,7 @@ func (cp *CoProcessor) Resident(name string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return cp.inner.Controller().Resident(f.ID()), nil
+	return cp.inner.Resident(f.ID()), nil
 }
 
 // Evict removes the named function from the fabric if resident.
@@ -247,12 +268,12 @@ func (cp *CoProcessor) Evict(name string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return cp.inner.Controller().Evict(f.ID()), nil
+	return cp.inner.Evict(f.ID()), nil
 }
 
 // Utilization reports configured frames versus total.
 func (cp *CoProcessor) Utilization() (configured, total int) {
-	return cp.inner.Controller().Fabric().Utilization()
+	return cp.inner.Utilization()
 }
 
 // Stats summarises card behaviour.
@@ -266,10 +287,12 @@ func (cp *CoProcessor) Stats() Stats {
 		Requests: st.Requests, Hits: st.Hits, Misses: st.Misses,
 		Evictions: st.Evictions, FramesLoaded: st.FramesLoaded,
 		RawConfigBytes: st.RawConfigBytes, CompConfigBytes: st.CompConfigBytes,
-		HitRate:       hr,
-		FramesSkipped: st.FramesSkipped,
-		Prefetches:    st.Prefetches,
-		PrefetchHits:  st.PrefetchHits,
+		HitRate:          hr,
+		FramesSkipped:    st.FramesSkipped,
+		Prefetches:       st.Prefetches,
+		PrefetchHits:     st.PrefetchHits,
+		DecompCacheHits:  st.DecompCacheHits,
+		DecompCacheBytes: st.DecompCacheBytes,
 	}
 }
 
@@ -301,7 +324,7 @@ func (cp *CoProcessor) Scrub() (*ScrubReport, error) {
 // CheckInvariants verifies the mini-OS bookkeeping (used by tests and
 // long-running examples).
 func (cp *CoProcessor) CheckInvariants() error {
-	return cp.inner.Controller().CheckInvariants()
+	return cp.inner.CheckInvariants()
 }
 
 // String identifies the card configuration.

@@ -164,3 +164,101 @@ func TestFacadeResetStats(t *testing.T) {
 		t.Error("reset failed")
 	}
 }
+
+// TestFacadeCluster drives the public cluster surface: sync calls,
+// async Submit/Wait, Serve over a mixed job list, the decode-cache
+// stats, and error paths for unknown function names.
+func TestFacadeCluster(t *testing.T) {
+	cl, err := NewCluster(2, ModeAffinity, Config{
+		Rows: 32, Cols: 40, DecodeCacheBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Cards() != 2 || cl.Mode() != ModeAffinity {
+		t.Fatalf("cards=%d mode=%q", cl.Cards(), cl.Mode())
+	}
+
+	in := []byte("0123456789abcdef")
+	res, card, err := cl.Call("aes128", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card < 0 || card > 1 || len(res.Output) == 0 {
+		t.Fatalf("card=%d output=%d bytes", card, len(res.Output))
+	}
+	if _, _, err := cl.Call("nope", in); err == nil {
+		t.Error("unknown function accepted by Call")
+	}
+
+	p := cl.Submit("crc32", []byte{1, 2, 3, 4})
+	if _, _, err := p.Wait(); err != nil {
+		t.Fatalf("async crc32: %v", err)
+	}
+	if _, _, err := cl.Submit("nope", in).Wait(); err == nil {
+		t.Error("unknown function accepted by Submit")
+	}
+
+	jobs := make([]Job, 40)
+	names := []string{"aes128", "sha256", "crc32", "des"}
+	for i := range jobs {
+		jobs[i] = Job{Function: names[i%len(names)], Input: in}
+	}
+	sr, err := cl.Serve(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range sr.Outputs {
+		if len(out) == 0 {
+			t.Fatalf("job %d returned no output", i)
+		}
+	}
+	if _, err := cl.Serve([]Job{{Function: "nope"}}, 1); err == nil {
+		t.Error("unknown function accepted by Serve")
+	}
+
+	st := cl.Stats()
+	if st.Requests < uint64(len(jobs))+2 {
+		t.Errorf("requests=%d", st.Requests)
+	}
+	if len(st.PerCardRequests) != 2 {
+		t.Errorf("per-card stats for %d cards", len(st.PerCardRequests))
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFacadeDecodeCacheStats checks that the decoded-frame cache is
+// reachable and reported through the single-card facade.
+func TestFacadeDecodeCacheStats(t *testing.T) {
+	cp, err := New(Config{DecodeCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Install("aes128"); err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("0123456789abcdef")
+	if _, err := cp.Call("aes128", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Evict("aes128"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cp.Call("aes128", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Phases["decompress"]; d != 0 {
+		t.Errorf("cached reload spent %v decompressing", d)
+	}
+	if res.Phases["cache"] == 0 {
+		t.Error("cached reload reported no cache phase")
+	}
+	st := cp.Stats()
+	if st.DecompCacheHits != 1 || st.DecompCacheBytes == 0 {
+		t.Errorf("cache stats: hits=%d bytes=%d", st.DecompCacheHits, st.DecompCacheBytes)
+	}
+}

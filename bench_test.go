@@ -211,6 +211,27 @@ func BenchmarkE15_Cluster(b *testing.B) {
 	b.ReportMetric(last.HitRate["4/partition"], "4card-partition-hitrate")
 }
 
+// BenchmarkE11_ClusterThroughput compares the serial replicate
+// dispatcher against the async serving layer (4 cards, 4 submitters,
+// affinity routing + decoded-frame cache) on the same mixed Zipf
+// workload, in wall-clock ops/sec. The acceptance bar is speedup ≥ 2×.
+func BenchmarkE11_ClusterThroughput(b *testing.B) {
+	var last *exp.E16Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunE16(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.SerialOpsPerSec, "serial-ops/sec")
+	b.ReportMetric(last.ConcurrentOpsPerSec, "concurrent-ops/sec")
+	b.ReportMetric(last.Speedup, "speedup")
+	if last.Speedup < 2 {
+		b.Fatalf("concurrent speedup %.2fx, want >= 2x", last.Speedup)
+	}
+}
+
 // --- Micro-benchmarks: hot paths of the simulator itself ---
 
 func benchInput(n int) []byte {

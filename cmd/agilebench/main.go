@@ -1,27 +1,94 @@
 // agilebench regenerates the experiment tables of EXPERIMENTS.md: every
 // table and series the paper's evaluation implies plus the extension
-// studies (DESIGN.md §6, E1–E13).
+// studies (DESIGN.md §6, E1–E16).
 //
 // Usage:
 //
 //	agilebench -exp e3             # one experiment
 //	agilebench -exp all            # the full suite (default)
 //	agilebench -exp e5 -format csv # machine-readable output
+//	agilebench -json               # write BENCH.json for perf tracking
 //	agilebench -list               # catalogue
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"agilefpga/internal/exp"
 )
 
+// benchRecord is one experiment's machine-readable result.
+type benchRecord struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	NsPerRun int64  `json:"ns_per_run"`
+	CSV      string `json:"csv"`
+}
+
+// benchFile is the schema of BENCH.json: per-experiment wall-clock cost
+// plus the headline throughput numbers, so the perf trajectory is
+// trackable across changes.
+type benchFile struct {
+	Experiments []benchRecord `json:"experiments"`
+	Throughput  struct {
+		Requests               int     `json:"requests"`
+		SerialOpsPerSec        float64 `json:"serial_ops_per_sec"`
+		ConcurrentOpsPerSec    float64 `json:"concurrent_ops_per_sec"`
+		Speedup                float64 `json:"speedup"`
+		SerialHitRate          float64 `json:"serial_hit_rate"`
+		ConcurrentHitRate      float64 `json:"concurrent_hit_rate"`
+		SerialFramesLoaded     uint64  `json:"serial_frames_loaded"`
+		ConcurrentFramesLoaded uint64  `json:"concurrent_frames_loaded"`
+		DecompCacheHits        uint64  `json:"decode_cache_hits"`
+	} `json:"throughput"`
+}
+
+// writeJSON runs the selected experiments, timing each, and writes
+// BENCH.json next to the working directory.
+func writeJSON(exps []exp.Experiment, path string) error {
+	var out benchFile
+	for _, e := range exps {
+		start := time.Now()
+		tab, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out.Experiments = append(out.Experiments, benchRecord{
+			ID:       e.ID,
+			Title:    e.Title,
+			NsPerRun: time.Since(start).Nanoseconds(),
+			CSV:      tab.CSV(),
+		})
+	}
+	r, err := exp.RunE16(2000)
+	if err != nil {
+		return fmt.Errorf("e16 throughput: %w", err)
+	}
+	out.Throughput.Requests = r.Requests
+	out.Throughput.SerialOpsPerSec = r.SerialOpsPerSec
+	out.Throughput.ConcurrentOpsPerSec = r.ConcurrentOpsPerSec
+	out.Throughput.Speedup = r.Speedup
+	out.Throughput.SerialHitRate = r.SerialHitRate
+	out.Throughput.ConcurrentHitRate = r.ConcurrentHitRate
+	out.Throughput.SerialFramesLoaded = r.SerialFramesLoaded
+	out.Throughput.ConcurrentFramesLoaded = r.ConcurrentFramesLoaded
+	out.Throughput.DecompCacheHits = r.DecompCacheHits
+	buf, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
-	expID := flag.String("exp", "all", "experiment id (e1..e13) or 'all'")
+	expID := flag.String("exp", "all", "experiment id (e1..e16) or 'all'")
 	format := flag.String("format", "text", "output format: text|csv")
+	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH.json")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -32,7 +99,29 @@ func main() {
 		return
 	}
 
-	run := func(e exp.Experiment) {
+	selected := exp.All()
+	if *expID != "all" {
+		e, err := exp.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "known experiments:")
+			for _, e := range exp.All() {
+				fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Title)
+			}
+			os.Exit(2)
+		}
+		selected = []exp.Experiment{e}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(selected, "BENCH.json"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote BENCH.json")
+		return
+	}
+
+	for _, e := range selected {
 		tab, err := e.Run()
 		if err != nil {
 			log.Fatalf("%s: %v", e.ID, err)
@@ -46,21 +135,4 @@ func main() {
 			log.Fatalf("unknown format %q", *format)
 		}
 	}
-
-	if *expID == "all" {
-		for _, e := range exp.All() {
-			run(e)
-		}
-		return
-	}
-	e, err := exp.ByID(*expID)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		fmt.Fprintln(os.Stderr, "known experiments:")
-		for _, e := range exp.All() {
-			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Title)
-		}
-		os.Exit(2)
-	}
-	run(e)
 }

@@ -1,6 +1,6 @@
 // Package cluster dispatches requests across several co-processor cards
 // — the natural scale-out once one card's fabric cannot hold the working
-// set. Two placement strategies bracket the design space:
+// set. Three placement strategies bracket the design space:
 //
 //   - replicate: every card carries the full bank in ROM; requests
 //     round-robin across cards. Each card still thrashes its fabric, but
@@ -9,47 +9,117 @@
 //     by greedy balance of frame demand. Once the per-card share fits
 //     the fabric, every request after warmup is a hit — reconfiguration
 //     disappears entirely.
+//   - affinity: every card carries the full bank (like replicate), but
+//     the dispatcher routes consistently by function id: the first
+//     request for a function pins it to the least-loaded card (by frame
+//     demand) and every later request follows the pin. Capacity
+//     multiplies like replicate, yet fabrics stop thrashing like
+//     partition — and unlike partition, the pins adapt to the observed
+//     workload instead of the static bank.
 //
-// The dispatcher is host software: it routes by function id and keeps
-// per-card statistics. Cards are full core.CoProcessor instances, each
-// with its own PCI bus, microcontroller, ROM and fabric.
+// The dispatcher is host software and safe for concurrent use: each
+// card is a full core.CoProcessor with its own lock, so cards execute
+// genuinely in parallel. Beyond the synchronous Call, the cluster runs
+// one worker goroutine per card behind a bounded submission queue;
+// Submit/Wait is the async interface and Serve drains a whole job list.
+// Workers coalesce consecutive same-function jobs into the card's
+// double-buffered CallBatch pipeline.
 package cluster
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"agilefpga/internal/algos"
 	"agilefpga/internal/core"
 	"agilefpga/internal/mcu"
+	"agilefpga/internal/sched"
 )
 
 // Modes.
 const (
 	ModeReplicate = "replicate"
 	ModePartition = "partition"
+	ModeAffinity  = "affinity"
 )
 
 // Modes lists the dispatch strategies.
-func Modes() []string { return []string{ModeReplicate, ModePartition} }
+func Modes() []string { return []string{ModeReplicate, ModePartition, ModeAffinity} }
+
+// Options tunes the dispatcher. The zero value of every field selects a
+// default.
+type Options struct {
+	// Queue bounds each card's submission queue (default 32). A full
+	// queue applies backpressure: Submit blocks until the card drains.
+	Queue int
+	// Coalesce caps how many consecutive same-function jobs a card
+	// worker folds into one pipelined CallBatch (default 16).
+	Coalesce int
+}
+
+// Defaults for Options.
+const (
+	DefaultQueue    = 32
+	DefaultCoalesce = 16
+)
 
 // Cluster is a set of cards behind one dispatcher.
 type Cluster struct {
 	cards []*core.CoProcessor
 	mode  string
-	// home maps function id → card index (partition mode).
+	// home maps function id → card index (partition mode). Immutable
+	// after New.
 	home map[uint16]int
-	rr   int
+	// demand maps function id → frame demand, for affinity balancing.
+	// Immutable after New.
+	demand map[uint16]int
+
+	// mu guards the routing state below.
+	mu sync.Mutex
+	// rr is the round-robin cursor (replicate mode).
+	rr int
+	// affinity maps function id → pinned card (affinity mode).
+	affinity map[uint16]int
+	// load is the pinned frame demand per card (affinity mode).
+	load []int
+
+	// Async serving layer: one bounded queue and one worker per card,
+	// started on first Submit.
+	opts      Options
+	queues    []chan *Pending
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	closeOnce sync.Once
 }
 
 // New builds a cluster of n cards sharing one configuration, provisioning
 // the whole algorithm bank according to mode.
 func New(n int, mode string, cfg core.Config) (*Cluster, error) {
+	return NewWithOptions(n, mode, cfg, Options{})
+}
+
+// NewWithOptions is New with dispatcher tuning.
+func NewWithOptions(n int, mode string, cfg core.Config, opts Options) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least one card, got %d", n)
 	}
-	cl := &Cluster{mode: mode, home: make(map[uint16]int)}
+	if opts.Queue <= 0 {
+		opts.Queue = DefaultQueue
+	}
+	if opts.Coalesce <= 0 {
+		opts.Coalesce = DefaultCoalesce
+	}
+	cl := &Cluster{
+		mode:     mode,
+		home:     make(map[uint16]int),
+		demand:   make(map[uint16]int),
+		affinity: make(map[uint16]int),
+		load:     make([]int, n),
+		opts:     opts,
+	}
 	for i := 0; i < n; i++ {
 		cp, err := core.New(cfg)
 		if err != nil {
@@ -57,12 +127,14 @@ func New(n int, mode string, cfg core.Config) (*Cluster, error) {
 		}
 		cl.cards = append(cl.cards, cp)
 	}
+	geom := cl.cards[0].Controller().Fabric().Geometry()
+	for _, f := range algos.Bank() {
+		cl.demand[f.ID()] = geom.FramesForLUTs(f.LUTs)
+	}
 	switch mode {
-	case ModeReplicate:
-		for _, cp := range cl.cards {
-			if _, err := cp.InstallBank(); err != nil {
-				return nil, err
-			}
+	case ModeReplicate, ModeAffinity:
+		if err := cl.replicateBank(); err != nil {
+			return nil, err
 		}
 		for _, f := range algos.Bank() {
 			cl.home[f.ID()] = -1 // any card
@@ -74,7 +146,33 @@ func New(n int, mode string, cfg core.Config) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("cluster: unknown mode %q", mode)
 	}
+	cl.queues = make([]chan *Pending, n)
+	for i := range cl.queues {
+		cl.queues[i] = make(chan *Pending, opts.Queue)
+	}
 	return cl, nil
+}
+
+// replicateBank provisions the full bank on every card. The host
+// synthesises and compresses each image once and downloads the same
+// blob to every card, instead of paying the synthesis n times.
+func (cl *Cluster) replicateBank() error {
+	geom := cl.cards[0].Controller().Fabric().Geometry()
+	codec := cl.cards[0].Codec()
+	serial := uint16(0)
+	for _, f := range algos.Bank() {
+		serial++
+		rec, blob, err := core.BuildImage(geom, f, codec, serial)
+		if err != nil {
+			return fmt.Errorf("cluster: building %s: %w", f.Name(), err)
+		}
+		for i, cp := range cl.cards {
+			if _, err := cp.InstallImage(f, rec, blob); err != nil {
+				return fmt.Errorf("cluster: installing %s on card %d: %w", f.Name(), i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // partition assigns functions to cards by greedy frame-demand balancing
@@ -85,10 +183,9 @@ func (cl *Cluster) partition() error {
 		f      *algos.Function
 		demand int
 	}
-	geom := cl.cards[0].Controller().Fabric().Geometry()
 	items := make([]item, 0, algos.BankSize)
 	for _, f := range algos.Bank() {
-		items = append(items, item{f, geom.FramesForLUTs(f.LUTs)})
+		items = append(items, item{f, cl.demand[f.ID()]})
 	}
 	sort.Slice(items, func(i, j int) bool {
 		if items[i].demand != items[j].demand {
@@ -120,7 +217,7 @@ func (cl *Cluster) Cards() int { return len(cl.cards) }
 func (cl *Cluster) Mode() string { return cl.mode }
 
 // Home reports the card a function is pinned to (-1 = any, replicate
-// mode; -2 = unknown function).
+// and affinity modes; -2 = unknown function).
 func (cl *Cluster) Home(fn uint16) int {
 	h, ok := cl.home[fn]
 	if !ok {
@@ -129,23 +226,254 @@ func (cl *Cluster) Home(fn uint16) int {
 	return h
 }
 
+// Affinity reports the card the affinity router has pinned fn to, or -1
+// if fn has not been routed yet (or the mode keeps no pins).
+func (cl *Cluster) Affinity(fn uint16) int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if c, ok := cl.affinity[fn]; ok {
+		return c
+	}
+	return -1
+}
+
 // ErrUnknownFunction reports a request for a function no card carries.
 var ErrUnknownFunction = errors.New("cluster: function not provisioned on any card")
 
-// Call routes one request, returning the result and the card that served
-// it.
-func (cl *Cluster) Call(fnID uint16, input []byte) (*core.CallResult, int, error) {
-	home, ok := cl.home[fnID]
+// route picks the card to serve fn, applying the mode's policy.
+func (cl *Cluster) route(fn uint16) (int, error) {
+	home, ok := cl.home[fn]
 	if !ok {
-		return nil, -1, fmt.Errorf("%w: id %d", ErrUnknownFunction, fnID)
+		return -1, fmt.Errorf("%w: id %d", ErrUnknownFunction, fn)
 	}
-	card := home
-	if home < 0 { // replicate: round-robin
-		card = cl.rr
-		cl.rr = (cl.rr + 1) % len(cl.cards)
+	if home >= 0 { // partition: pinned at construction
+		return home, nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.mode == ModeAffinity {
+		if card, ok := cl.affinity[fn]; ok {
+			return card, nil
+		}
+		// First sight of fn: pin it to the card with the least pinned
+		// frame demand (ties to the lowest index) — the online version
+		// of partition's greedy balance, driven by the live workload.
+		best := 0
+		for c := 1; c < len(cl.load); c++ {
+			if cl.load[c] < cl.load[best] {
+				best = c
+			}
+		}
+		cl.affinity[fn] = best
+		cl.load[best] += cl.demand[fn]
+		return best, nil
+	}
+	card := cl.rr
+	cl.rr = (cl.rr + 1) % len(cl.cards)
+	return card, nil
+}
+
+// Call routes one request, returning the result and the card that served
+// it. Safe for concurrent use; calls routed to different cards execute
+// in parallel.
+func (cl *Cluster) Call(fnID uint16, input []byte) (*core.CallResult, int, error) {
+	card, err := cl.route(fnID)
+	if err != nil {
+		return nil, -1, err
 	}
 	res, err := cl.cards[card].CallID(fnID, input)
 	return res, card, err
+}
+
+// Pending is an in-flight submission. Wait blocks until the card served
+// (or failed) the request.
+type Pending struct {
+	fn    uint16
+	input []byte
+	done  chan struct{}
+	res   *core.CallResult
+	card  int
+	err   error
+}
+
+// Wait blocks until completion, returning the result and serving card.
+func (p *Pending) Wait() (*core.CallResult, int, error) {
+	<-p.done
+	return p.res, p.card, p.err
+}
+
+func (p *Pending) complete(res *core.CallResult, card int, err error) {
+	p.res, p.card, p.err = res, card, err
+	close(p.done)
+}
+
+// Failed returns an already-completed Pending carrying err, for callers
+// that must fail a submission before it reaches any queue (for example
+// a bad function name at an outer API layer).
+func Failed(err error) *Pending {
+	p := &Pending{done: make(chan struct{}), card: -1}
+	p.complete(nil, -1, err)
+	return p
+}
+
+// Submit enqueues one request on its routed card's bounded queue and
+// returns immediately. Routing errors (unknown function) surface through
+// Wait, so the async API has one error path. Submit blocks only when the
+// target card's queue is full (backpressure). Submit must not be called
+// after (or concurrently with) Close.
+func (cl *Cluster) Submit(fnID uint16, input []byte) *Pending {
+	p := &Pending{fn: fnID, input: input, done: make(chan struct{}), card: -1}
+	card, err := cl.route(fnID)
+	if err != nil {
+		p.complete(nil, -1, err)
+		return p
+	}
+	cl.startOnce.Do(cl.startWorkers)
+	p.card = card
+	cl.queues[card] <- p
+	return p
+}
+
+// Close shuts the worker goroutines down and waits for queued work to
+// drain. No Submit or Serve may be in flight or issued afterwards.
+// Synchronous Call and Stats remain usable. Close is idempotent.
+func (cl *Cluster) Close() {
+	cl.closeOnce.Do(func() {
+		for _, q := range cl.queues {
+			close(q)
+		}
+		cl.wg.Wait()
+	})
+}
+
+func (cl *Cluster) startWorkers() {
+	cl.wg.Add(len(cl.cards))
+	for i := range cl.cards {
+		go cl.worker(i)
+	}
+}
+
+// worker drains one card's queue. Consecutive jobs for the same function
+// coalesce into a single double-buffered CallBatch, so an affinity-mode
+// cluster turns a run of same-function submissions into one resident
+// configuration and a pipelined burst.
+func (cl *Cluster) worker(card int) {
+	defer cl.wg.Done()
+	q := cl.queues[card]
+	var held *Pending
+	for {
+		var p *Pending
+		if held != nil {
+			p, held = held, nil
+		} else {
+			var ok bool
+			p, ok = <-q
+			if !ok {
+				return
+			}
+		}
+		run := []*Pending{p}
+	coalesce:
+		for len(run) < cl.opts.Coalesce {
+			select {
+			case next, ok := <-q:
+				if !ok {
+					break coalesce
+				}
+				if next.fn == p.fn {
+					run = append(run, next)
+				} else {
+					held = next
+					break coalesce
+				}
+			default:
+				break coalesce
+			}
+		}
+		cl.serveRun(card, run)
+	}
+}
+
+// serveRun executes a coalesced run of same-function jobs on one card.
+func (cl *Cluster) serveRun(card int, run []*Pending) {
+	cp := cl.cards[card]
+	if len(run) == 1 {
+		res, err := cp.CallID(run[0].fn, run[0].input)
+		run[0].complete(res, card, err)
+		return
+	}
+	inputs := make([][]byte, len(run))
+	for i, p := range run {
+		inputs[i] = p.input
+	}
+	batch, err := cp.CallBatchID(run[0].fn, inputs)
+	if err != nil {
+		// CallBatch fails the whole pipeline; every job in the run
+		// observes the error.
+		for _, p := range run {
+			p.complete(nil, card, err)
+		}
+		return
+	}
+	for i, p := range run {
+		p.complete(batch.Results[i], card, nil)
+	}
+}
+
+// ServeResult reports a drained job list.
+type ServeResult struct {
+	// Outputs holds each job's output, indexed like the jobs slice.
+	Outputs [][]byte
+	// Hits counts jobs served without reconfiguration.
+	Hits int
+	// Elapsed is the wall-clock drain time (host-side, not virtual).
+	Elapsed time.Duration
+}
+
+// Serve drains jobs through the async serving layer using the given
+// number of submitter goroutines (clamped to [1, len(jobs)]), waiting
+// for every job. Outputs come back in job order. The first job error is
+// returned after all jobs settle.
+func (cl *Cluster) Serve(jobs []sched.Job, workers int) (*ServeResult, error) {
+	if len(jobs) == 0 {
+		return &ServeResult{}, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	start := time.Now()
+	pendings := make([]*Pending, len(jobs))
+	var submitters sync.WaitGroup
+	submitters.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer submitters.Done()
+			for i := w; i < len(jobs); i += workers {
+				pendings[i] = cl.Submit(jobs[i].Fn, jobs[i].Input)
+			}
+		}(w)
+	}
+	submitters.Wait()
+	res := &ServeResult{Outputs: make([][]byte, len(jobs))}
+	var firstErr error
+	for i, p := range pendings {
+		call, _, err := p.Wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: job %d (fn %d): %w", jobs[i].Seq, jobs[i].Fn, err)
+			}
+			continue
+		}
+		res.Outputs[i] = call.Output
+		if call.Hit {
+			res.Hits++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, firstErr
 }
 
 // Stats aggregates card statistics and reports per-card load balance.
@@ -157,7 +485,7 @@ type Stats struct {
 	HitRate float64
 }
 
-// Stats aggregates over all cards.
+// Stats aggregates over all cards. Safe for concurrent use.
 func (cl *Cluster) Stats() Stats {
 	var out Stats
 	for _, cp := range cl.cards {
@@ -170,6 +498,8 @@ func (cl *Cluster) Stats() Stats {
 		out.Total.FramesLoaded += st.FramesLoaded
 		out.Total.RawConfigBytes += st.RawConfigBytes
 		out.Total.CompConfigBytes += st.CompConfigBytes
+		out.Total.DecompCacheHits += st.DecompCacheHits
+		out.Total.DecompCacheBytes += st.DecompCacheBytes
 		out.Total.Phases.AddAll(st.Phases)
 	}
 	if out.Total.Requests > 0 {
@@ -181,7 +511,7 @@ func (cl *Cluster) Stats() Stats {
 // CheckInvariants verifies every card's mini-OS bookkeeping.
 func (cl *Cluster) CheckInvariants() error {
 	for i, cp := range cl.cards {
-		if err := cp.Controller().CheckInvariants(); err != nil {
+		if err := cp.CheckInvariants(); err != nil {
 			return fmt.Errorf("cluster: card %d: %w", i, err)
 		}
 	}

@@ -25,16 +25,33 @@ type BatchResult struct {
 	SequentialLatency sim.Time
 	// Hits counts items served without reconfiguration.
 	Hits int
+	// Results carries the per-item round trips (output, breakdown,
+	// latency, hit), for callers that fan a batch back out to
+	// individual requests (the cluster dispatcher's coalescer).
+	Results []*CallResult
 }
 
 // CallBatch executes the named function over every input, modelling a
 // double-buffered DMA pipeline. Outputs and card state are identical to
 // issuing the calls one by one; only the latency model differs.
 func (cp *CoProcessor) CallBatch(name string, inputs [][]byte) (*BatchResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
 	f, err := cp.lookup(name)
 	if err != nil {
 		return nil, err
 	}
+	return cp.callBatchID(f.ID(), inputs)
+}
+
+// CallBatchID is CallBatch by function id.
+func (cp *CoProcessor) CallBatchID(fnID uint16, inputs [][]byte) (*BatchResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.callBatchID(fnID, inputs)
+}
+
+func (cp *CoProcessor) callBatchID(fnID uint16, inputs [][]byte) (*BatchResult, error) {
 	if len(inputs) == 0 {
 		return nil, errors.New("core: empty batch")
 	}
@@ -58,7 +75,7 @@ func (cp *CoProcessor) CallBatch(name string, inputs [][]byte) (*BatchResult, er
 		for _, rw := range []struct {
 			off, val uint32
 		}{
-			{mcu.RegARG0, uint32(f.ID())},
+			{mcu.RegARG0, uint32(fnID)},
 			{mcu.RegARG1, uint32(len(input))},
 			{mcu.RegCMD, mcu.CmdExec},
 		} {
@@ -91,7 +108,8 @@ func (cp *CoProcessor) CallBatch(name string, inputs [][]byte) (*BatchResult, er
 
 		inT := cp.pciDom.Advance(inCycles)
 		outT := cp.pciDom.Advance(outCycles)
-		cardT := cp.ctrl.LastBreakdown().Total()
+		itemBr := cp.ctrl.LastBreakdown()
+		cardT := itemBr.Total()
 		busTotal += inT + outT
 		cardTotal += cardT
 		res.SequentialLatency += inT + outT + cardT
@@ -99,9 +117,17 @@ func (cp *CoProcessor) CallBatch(name string, inputs [][]byte) (*BatchResult, er
 			firstIn = inT
 		}
 		lastOut = outT
-		if cp.ctrl.Stats().Hits > hitsBefore {
+		hit := cp.ctrl.Stats().Hits > hitsBefore
+		if hit {
 			res.Hits++
 		}
+		itemBr.Add(sim.PhasePCI, inT+outT)
+		res.Results = append(res.Results, &CallResult{
+			Output:    out,
+			Breakdown: itemBr,
+			Latency:   itemBr.Total(),
+			Hit:       hit,
+		})
 	}
 	pipelined := busTotal
 	if edge := firstIn + cardTotal + lastOut; edge > pipelined {

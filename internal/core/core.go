@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"agilefpga/internal/algos"
 	"agilefpga/internal/bitstream"
@@ -54,10 +55,18 @@ type Config struct {
 	// memory.LoadROM and cmd/bitc -burn); functions found in it are
 	// immediately callable without Install.
 	ROMImage []byte
+	// DecodeCacheBytes bounds the mini OS's decoded-frame cache: reloads
+	// whose decoded frame images are cached skip decompression entirely.
+	// 0 disables the cache.
+	DecodeCacheBytes int
 }
 
-// CoProcessor is the assembled card plus its host driver.
+// CoProcessor is the assembled card plus its host driver. All exported
+// methods are safe for concurrent use: one mutex serialises the card, so
+// a cluster of cards runs genuinely in parallel — one lock per card.
+// Controller() escapes the lock; confine it to single-threaded code.
 type CoProcessor struct {
+	mu    sync.Mutex
 	cfg   Config
 	reg   *fpga.Registry
 	ctrl  *mcu.Controller
@@ -111,15 +120,16 @@ func New(cfg Config) (*CoProcessor, error) {
 		return nil, err
 	}
 	ctrl, err := mcu.New(mcu.Config{
-		Geometry:     cfg.Geometry,
-		ROMBytes:     cfg.ROMBytes,
-		RAMBytes:     cfg.RAMBytes,
-		WindowBytes:  cfg.WindowBytes,
-		Policy:       pol,
-		AllowScatter: !cfg.NoScatter,
-		DiffReload:   cfg.DiffReload,
-		Prefetch:     cfg.Prefetch,
-		ROMImage:     cfg.ROMImage,
+		Geometry:         cfg.Geometry,
+		ROMBytes:         cfg.ROMBytes,
+		RAMBytes:         cfg.RAMBytes,
+		WindowBytes:      cfg.WindowBytes,
+		Policy:           pol,
+		AllowScatter:     !cfg.NoScatter,
+		DiffReload:       cfg.DiffReload,
+		Prefetch:         cfg.Prefetch,
+		ROMImage:         cfg.ROMImage,
+		DecodeCacheBytes: cfg.DecodeCacheBytes,
 	}, reg)
 	if err != nil {
 		return nil, err
@@ -217,6 +227,12 @@ func BuildImage(g fpga.Geometry, f *algos.Function, codec compress.Codec, serial
 // blob over PCI into the card's ROM. It returns the provisioning time
 // (bus transfer plus ROM programming).
 func (cp *CoProcessor) Install(f *algos.Function) (sim.Time, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.install(f)
+}
+
+func (cp *CoProcessor) install(f *algos.Function) (sim.Time, error) {
 	if f == nil {
 		return 0, errors.New("core: Install(nil)")
 	}
@@ -225,6 +241,32 @@ func (cp *CoProcessor) Install(f *algos.Function) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
+	return cp.download(f, rec, blob)
+}
+
+// InstallImage provisions a function from an already-built ROM record
+// and compressed blob (see BuildImage). A cluster replicating one bank
+// across many cards synthesises and compresses each image once and
+// downloads the same blob everywhere, instead of paying the synthesis
+// per card.
+func (cp *CoProcessor) InstallImage(f *algos.Function, rec memory.Record, blob []byte) (sim.Time, error) {
+	if f == nil {
+		return 0, errors.New("core: InstallImage(nil)")
+	}
+	if rec.FnID != f.ID() {
+		return 0, fmt.Errorf("core: record fn %d does not match %s (%d)", rec.FnID, f.Name(), f.ID())
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if rec.Serial > cp.serial {
+		cp.serial = rec.Serial
+	}
+	return cp.download(f, rec, blob)
+}
+
+// download pushes a built image over PCI into the card's ROM and marks
+// the function callable. Callers hold cp.mu.
+func (cp *CoProcessor) download(f *algos.Function, rec memory.Record, blob []byte) (sim.Time, error) {
 	// Provisioning transfer: blob plus record over the bus.
 	busTime := cp.pciDom.Advance(pci.TransferCycles(len(blob) + memory.RecordBytes))
 	romTime, err := cp.ctrl.Download(rec, blob)
@@ -237,9 +279,11 @@ func (cp *CoProcessor) Install(f *algos.Function) (sim.Time, error) {
 
 // InstallBank installs the whole algorithm bank.
 func (cp *CoProcessor) InstallBank() (sim.Time, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
 	var total sim.Time
 	for _, f := range algos.Bank() {
-		t, err := cp.Install(f)
+		t, err := cp.install(f)
 		if err != nil {
 			return total, fmt.Errorf("core: installing %s: %w", f.Name(), err)
 		}
@@ -250,6 +294,8 @@ func (cp *CoProcessor) InstallBank() (sim.Time, error) {
 
 // Installed lists the provisioned functions.
 func (cp *CoProcessor) Installed() []*algos.Function {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
 	out := make([]*algos.Function, 0, len(cp.installed))
 	for _, f := range algos.Bank() {
 		if _, ok := cp.installed[f.ID()]; ok {
@@ -274,15 +320,24 @@ func (cp *CoProcessor) lookup(name string) (*algos.Function, error) {
 // Call executes the named function on the card, following the full host
 // protocol: burst input into BAR1, fire the mailbox, read the result.
 func (cp *CoProcessor) Call(name string, input []byte) (*CallResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
 	f, err := cp.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return cp.CallID(f.ID(), input)
+	return cp.callID(f.ID(), input)
 }
 
 // CallID is Call by function id.
 func (cp *CoProcessor) CallID(fnID uint16, input []byte) (*CallResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.callID(fnID, input)
+}
+
+// callID runs the host protocol with cp.mu held.
+func (cp *CoProcessor) callID(fnID uint16, input []byte) (*CallResult, error) {
 	if len(input) == 0 {
 		return nil, errors.New("core: empty input")
 	}
@@ -362,14 +417,56 @@ func (cp *CoProcessor) RunHost(name string, input []byte) ([]byte, sim.Time, err
 	if err != nil {
 		return nil, 0, err
 	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
 	return out, cp.hostDom.Advance(f.SWCycles(len(input))), nil
 }
 
 // SetTrace attaches a structured event log to the card (nil disables).
-func (cp *CoProcessor) SetTrace(l *trace.Log) { cp.ctrl.SetTrace(l) }
+func (cp *CoProcessor) SetTrace(l *trace.Log) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.ctrl.SetTrace(l)
+}
 
 // Stats exposes the card's counters.
-func (cp *CoProcessor) Stats() mcu.Stats { return cp.ctrl.Stats() }
+func (cp *CoProcessor) Stats() mcu.Stats {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.ctrl.Stats()
+}
 
 // ResetStats zeroes the card's counters (between experiment phases).
-func (cp *CoProcessor) ResetStats() { cp.ctrl.ResetStats() }
+func (cp *CoProcessor) ResetStats() {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.ctrl.ResetStats()
+}
+
+// Resident reports whether fnID currently occupies fabric frames.
+func (cp *CoProcessor) Resident(fnID uint16) bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.ctrl.Resident(fnID)
+}
+
+// Evict removes fnID from the fabric if resident.
+func (cp *CoProcessor) Evict(fnID uint16) bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.ctrl.Evict(fnID)
+}
+
+// Utilization reports configured frames versus total.
+func (cp *CoProcessor) Utilization() (configured, total int) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.ctrl.Fabric().Utilization()
+}
+
+// CheckInvariants verifies the card's mini-OS bookkeeping.
+func (cp *CoProcessor) CheckInvariants() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.ctrl.CheckInvariants()
+}

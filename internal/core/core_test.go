@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 
 	"agilefpga/internal/algos"
@@ -290,5 +292,56 @@ func TestOversizedInputRejectedHostSide(t *testing.T) {
 	huge := make([]byte, cp.Controller().InWindowBytes()+1)
 	if _, err := cp.CallID(algos.IDCRC32, huge); err == nil {
 		t.Error("oversized input accepted")
+	}
+}
+
+// TestCoProcessorConcurrentCalls drives one card from many goroutines:
+// the per-card mutex must serialise the host protocol so outputs stay
+// correct and the mini-OS invariants hold. Run with -race.
+func TestCoProcessorConcurrentCalls(t *testing.T) {
+	cp, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := []*algos.Function{algos.CRC32(), algos.SHA256(), algos.AES128()}
+	for _, f := range fns {
+		if _, err := cp.Install(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines, perG = 8, 20
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				f := fns[(g+i)%len(fns)]
+				in := make([]byte, f.BlockBytes)
+				in[0], in[1] = byte(g), byte(i)
+				want, _ := f.Exec(in)
+				res, err := cp.CallID(f.ID(), in)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(res.Output, want) {
+					errs <- fmt.Errorf("%s: wrong output under contention", f.Name())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := cp.Stats().Requests; got != goroutines*perG {
+		t.Errorf("requests = %d, want %d", got, goroutines*perG)
+	}
+	if err := cp.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 }

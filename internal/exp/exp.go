@@ -76,6 +76,10 @@ func All() []Experiment {
 			r, err := RunE15(800)
 			return tableOf(r, err)
 		}},
+		{"e16", "Concurrent cluster throughput", func() (*Table, error) {
+			r, err := RunE16(2000)
+			return tableOf(r, err)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return expNum(exps[i].ID) < expNum(exps[j].ID) })
 	return exps
@@ -125,3 +129,4 @@ func (r *E12Result) table() *Table { return &r.Table }
 func (r *E13Result) table() *Table { return &r.Table }
 func (r *E14Result) table() *Table { return &r.Table }
 func (r *E15Result) table() *Table { return &r.Table }
+func (r *E16Result) table() *Table { return &r.Table }

@@ -1,0 +1,116 @@
+package mcu
+
+// The decoded-frame cache. Reloading a function the fabric evicted
+// re-runs the whole window-by-window decompression of its compressed
+// bitstream, even though the decoded frame images are bit-for-bit the
+// ones produced moments earlier. A slice of local RAM set aside as a
+// bounded LRU cache of decoded images turns those repeat decodes into
+// plain RAM reads: the configuration module still pushes every frame
+// through the port (the fabric must be rewritten), but PhaseDecompress
+// disappears from the reload entirely.
+//
+// Entries are keyed by (function id, record serial). The host driver
+// bumps the serial on every install, so a re-installed (re-synthesised)
+// function can never revive a stale image.
+
+// dcKey identifies a cached configuration: function id in the high
+// half, record serial in the low half.
+type dcKey uint32
+
+func makeDCKey(fnID, serial uint16) dcKey { return dcKey(fnID)<<16 | dcKey(serial) }
+
+// dcEntry is one cached configuration: the decoded frame images of one
+// (function, serial) pair, on an intrusive LRU list.
+type dcEntry struct {
+	key        dcKey
+	frames     [][]byte
+	bytes      int
+	prev, next *dcEntry
+}
+
+// decodeCache is a byte-bounded LRU of decoded frame images. Not safe
+// for concurrent use; the owning Controller serialises access.
+type decodeCache struct {
+	capBytes int
+	bytes    int
+	entries  map[dcKey]*dcEntry
+	// head is most recently used, tail least.
+	head, tail *dcEntry
+}
+
+// newDecodeCache returns a cache bounded to capBytes of decoded frames.
+func newDecodeCache(capBytes int) *decodeCache {
+	return &decodeCache{capBytes: capBytes, entries: make(map[dcKey]*dcEntry)}
+}
+
+// get returns the cached frame images for key, refreshing recency.
+// Callers must treat the returned slices as read-only.
+func (d *decodeCache) get(key dcKey) ([][]byte, bool) {
+	e, ok := d.entries[key]
+	if !ok {
+		return nil, false
+	}
+	d.unlink(e)
+	d.pushFront(e)
+	return e.frames, true
+}
+
+// put caches the frame images for key, evicting least-recently-used
+// entries until the byte bound holds. An image set larger than the whole
+// cache is not stored.
+func (d *decodeCache) put(key dcKey, frames [][]byte) {
+	if old, ok := d.entries[key]; ok {
+		d.remove(old)
+	}
+	n := 0
+	for _, f := range frames {
+		n += len(f)
+	}
+	if n > d.capBytes {
+		return
+	}
+	for d.bytes+n > d.capBytes && d.tail != nil {
+		d.remove(d.tail)
+	}
+	e := &dcEntry{key: key, frames: frames, bytes: n}
+	d.entries[key] = e
+	d.pushFront(e)
+	d.bytes += n
+}
+
+// Len reports the number of cached configurations.
+func (d *decodeCache) Len() int { return len(d.entries) }
+
+// Bytes reports the decoded bytes currently held.
+func (d *decodeCache) Bytes() int { return d.bytes }
+
+func (d *decodeCache) remove(e *dcEntry) {
+	d.unlink(e)
+	delete(d.entries, e.key)
+	d.bytes -= e.bytes
+}
+
+func (d *decodeCache) unlink(e *dcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if d.head == e {
+		d.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if d.tail == e {
+		d.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (d *decodeCache) pushFront(e *dcEntry) {
+	e.next = d.head
+	if d.head != nil {
+		d.head.prev = e
+	}
+	d.head = e
+	if d.tail == nil {
+		d.tail = e
+	}
+}

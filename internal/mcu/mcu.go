@@ -64,6 +64,12 @@ type Config struct {
 	// the next call hits. The prefetch may evict via the replacement
 	// policy; its cost is accounted separately, not on any request.
 	Prefetch bool
+	// DecodeCacheBytes sets aside a byte-bounded LRU cache of decoded
+	// frame images keyed by record serial. A reload whose images are
+	// cached skips the window-by-window decompression entirely
+	// (PhaseDecompress = 0); the frames are read back from RAM
+	// (PhaseCache) and pushed through the port as usual. 0 disables.
+	DecodeCacheBytes int
 }
 
 // Default sizing: a 512 KiB bitstream ROM and 64 KiB of staging RAM, on
@@ -95,6 +101,9 @@ type Controller struct {
 	lastOutputLen int
 
 	stats Stats
+
+	// dcache, when non-nil, caches decoded frame images by record serial.
+	dcache *decodeCache
 
 	// traceLog, when set, receives structured events (nil = disabled).
 	traceLog *trace.Log
@@ -176,6 +185,10 @@ type Stats struct {
 	Prefetches   uint64
 	PrefetchHits uint64
 	PrefetchTime sim.Time
+	// Decoded-frame cache: loads served from cached images (skipping
+	// decompression) and the decoded bytes those hits reused.
+	DecompCacheHits  uint64
+	DecompCacheBytes uint64
 	// Scrubber: frames repaired after SEU detection and the total time
 	// spent in scrub passes.
 	SEURepairs uint64
@@ -239,6 +252,9 @@ func New(cfg Config, reg *fpga.Registry) (*Controller, error) {
 		cfgDom: sim.NewDomain("cfg", CfgHz),
 		fabDom: sim.NewDomain("fabric", FabricHz),
 	}
+	if cfg.DecodeCacheBytes > 0 {
+		c.dcache = newDecodeCache(cfg.DecodeCacheBytes)
+	}
 	c.kernel = kernel{
 		table:      make(map[uint16]*resident),
 		policy:     cfg.Policy,
@@ -284,6 +300,15 @@ func (c *Controller) ResidentFunctions() []uint16 {
 
 // LastBreakdown reports the per-phase latency of the most recent command.
 func (c *Controller) LastBreakdown() sim.Breakdown { return c.lastBreakdown }
+
+// DecodeCacheSize reports the decoded-frame cache occupancy (entries and
+// decoded bytes). Both are zero when the cache is disabled.
+func (c *Controller) DecodeCacheSize() (entries, bytes int) {
+	if c.dcache == nil {
+		return 0, 0
+	}
+	return c.dcache.Len(), c.dcache.Bytes()
+}
 
 // Download stores a compressed function bitstream and its record into ROM
 // (the host pushes these over PCI at provisioning time, paper §2.2). It

@@ -261,6 +261,30 @@ func (c *Controller) Defrag() (moved int, cost sim.Time, err error) {
 // same blob can be relocated to whatever frames the placer found — the
 // relocation trick that makes run-time placement possible at all.
 func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdown) error {
+	// Decoded-frame cache fast path: the images for this exact record
+	// serial were decoded before and still sit in the cache, so the ROM
+	// read and the window-by-window decompression vanish. The frames are
+	// read back from RAM (PhaseCache) and pushed through the port as
+	// usual — the fabric contents are byte-identical to a full decode.
+	if c.dcache != nil {
+		if images, ok := c.dcache.get(makeDCKey(rec.FnID, rec.Serial)); ok && len(images) == len(frames) {
+			raw := len(images) * c.cfg.Geometry.FrameBytes()
+			br.Add(sim.PhaseCache, c.mcuDom.Advance(memory.ReadCycles(raw)))
+			portCycles, err := c.pushFrames(frames, images)
+			if err != nil {
+				return err
+			}
+			br.Add(sim.PhaseConfigure, c.cfgDom.Advance(portCycles))
+			br.Add(sim.PhaseOverhead, c.mcuDom.Advance(uint64(4+2*len(frames))))
+			c.stats.DecompCacheHits++
+			c.stats.DecompCacheBytes += uint64(raw)
+			c.stats.FramesLoaded += uint64(len(frames))
+			c.stats.RawConfigBytes += uint64(raw)
+			c.emit(trace.KindConfigure, rec.FnID, len(frames), raw, "decode-cache")
+			return nil
+		}
+	}
+
 	blob, err := c.rom.Blob(rec)
 	if err != nil {
 		return err
@@ -317,18 +341,14 @@ func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdow
 		return fmt.Errorf("mcu: bitstream of %q holds %d frames, record says %d", rec.Name, len(images), len(frames))
 	}
 
-	// Wrap the relocated images in configuration packets and push them
-	// through the port.
-	stream, err := bitstream.Assemble(c.cfg.Geometry, c.fab.IDCode(), frames, images)
+	if c.dcache != nil {
+		c.dcache.put(makeDCKey(rec.FnID, rec.Serial), images)
+	}
+
+	portCycles, err := c.pushFrames(frames, images)
 	if err != nil {
 		return err
 	}
-	port := c.fab.Port()
-	port.Reset()
-	if _, err := port.Write(stream); err != nil {
-		return fmt.Errorf("mcu: configuration port: %w", err)
-	}
-	portCycles := port.TakeCycles()
 
 	// Timing of the configuration module. The module is double-buffered:
 	// while the port drains window k, the decompressor fills window k+1,
@@ -358,6 +378,21 @@ func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdow
 	c.stats.RawConfigBytes += uint64(rawTotal)
 	c.emit(trace.KindConfigure, rec.FnID, len(frames), rawTotal, codec.Name())
 	return nil
+}
+
+// pushFrames wraps frame images in configuration packets and streams
+// them through the port, returning the port cycles consumed.
+func (c *Controller) pushFrames(frames []int, images [][]byte) (uint64, error) {
+	stream, err := bitstream.Assemble(c.cfg.Geometry, c.fab.IDCode(), frames, images)
+	if err != nil {
+		return 0, err
+	}
+	port := c.fab.Port()
+	port.Reset()
+	if _, err := port.Write(stream); err != nil {
+		return 0, fmt.Errorf("mcu: configuration port: %w", err)
+	}
+	return port.TakeCycles(), nil
 }
 
 // CheckInvariants verifies the mini-OS bookkeeping: the Free Frame List

@@ -122,11 +122,12 @@ const (
 	PhaseExec                    // function execution on the fabric
 	PhaseDataOut                 // output-collection module fabric→RAM streaming
 	PhaseOverhead                // mini-OS bookkeeping (placement, tables)
+	PhaseCache                   // decoded-frame cache reads (RAM, not ROM+decode)
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
-	"pci", "rom", "decompress", "configure", "datain", "exec", "dataout", "overhead",
+	"pci", "rom", "decompress", "configure", "datain", "exec", "dataout", "overhead", "cache",
 }
 
 // String returns the lower-case phase name.
