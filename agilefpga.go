@@ -33,6 +33,7 @@ import (
 	"agilefpga/internal/algos"
 	"agilefpga/internal/core"
 	"agilefpga/internal/fpga"
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/sim"
 )
 
@@ -72,6 +73,11 @@ type Config struct {
 	// decompression (the configuration port is still paid). Zero
 	// disables the cache.
 	DecodeCacheBytes int
+	// Metrics enables the telemetry registry: per-phase latency
+	// histograms and behaviour counters, exported in Prometheus text
+	// format (see CoProcessor.Metrics / Cluster.Metrics). Observation is
+	// passive, so enabling it changes no virtual-time result.
+	Metrics bool
 }
 
 // Function describes one member of the algorithm bank.
@@ -165,6 +171,10 @@ func New(cfg Config) (*CoProcessor, error) {
 	if cfg.Rows != 0 || cfg.Cols != 0 {
 		geom = fpga.Geometry{Rows: cfg.Rows, Cols: cfg.Cols}
 	}
+	var reg *metrics.Registry
+	if cfg.Metrics {
+		reg = metrics.NewRegistry()
+	}
 	inner, err := core.New(core.Config{
 		Geometry:         geom,
 		ROMBytes:         cfg.ROMBytes,
@@ -177,6 +187,7 @@ func New(cfg Config) (*CoProcessor, error) {
 		DiffReload:       cfg.DiffReload,
 		Prefetch:         cfg.Prefetch,
 		DecodeCacheBytes: cfg.DecodeCacheBytes,
+		Metrics:          reg,
 	})
 	if err != nil {
 		return nil, err

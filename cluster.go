@@ -7,6 +7,7 @@ import (
 	"agilefpga/internal/cluster"
 	"agilefpga/internal/core"
 	"agilefpga/internal/fpga"
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/sched"
 )
 
@@ -68,6 +69,10 @@ func NewCluster(n int, mode string, cfg Config) (*Cluster, error) {
 	if cfg.Rows != 0 || cfg.Cols != 0 {
 		geom = fpga.Geometry{Rows: cfg.Rows, Cols: cfg.Cols}
 	}
+	var reg *metrics.Registry
+	if cfg.Metrics {
+		reg = metrics.NewRegistry()
+	}
 	inner, err := cluster.New(n, mode, core.Config{
 		Geometry:         geom,
 		ROMBytes:         cfg.ROMBytes,
@@ -80,6 +85,7 @@ func NewCluster(n int, mode string, cfg Config) (*Cluster, error) {
 		DiffReload:       cfg.DiffReload,
 		Prefetch:         cfg.Prefetch,
 		DecodeCacheBytes: cfg.DecodeCacheBytes,
+		Metrics:          reg,
 	})
 	if err != nil {
 		return nil, err
@@ -153,6 +159,9 @@ func (cl *Cluster) Stats() ClusterStats {
 			Evictions: st.Total.Evictions, FramesLoaded: st.Total.FramesLoaded,
 			RawConfigBytes: st.Total.RawConfigBytes, CompConfigBytes: st.Total.CompConfigBytes,
 			HitRate:          st.HitRate,
+			FramesSkipped:    st.Total.FramesSkipped,
+			Prefetches:       st.Total.Prefetches,
+			PrefetchHits:     st.Total.PrefetchHits,
 			DecompCacheHits:  st.Total.DecompCacheHits,
 			DecompCacheBytes: st.Total.DecompCacheBytes,
 		},

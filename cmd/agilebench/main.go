@@ -1,6 +1,6 @@
 // agilebench regenerates the experiment tables of EXPERIMENTS.md: every
 // table and series the paper's evaluation implies plus the extension
-// studies (DESIGN.md §6, E1–E16).
+// studies (DESIGN.md §6, E1–E17).
 //
 // Usage:
 //
@@ -30,12 +30,24 @@ type benchRecord struct {
 	CSV      string `json:"csv"`
 }
 
+// phaseLatency is one pipeline phase's virtual-latency distribution,
+// from the telemetry histograms of an instrumented reference run
+// (framediff codec, Zipf stream). Values are virtual nanoseconds.
+type phaseLatency struct {
+	Phase string `json:"phase"`
+	P50Ns int64  `json:"p50_ns"`
+	P95Ns int64  `json:"p95_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	Count uint64 `json:"count"`
+}
+
 // benchFile is the schema of BENCH.json: per-experiment wall-clock cost
 // plus the headline throughput numbers, so the perf trajectory is
 // trackable across changes.
 type benchFile struct {
-	Experiments []benchRecord `json:"experiments"`
-	Throughput  struct {
+	Experiments  []benchRecord  `json:"experiments"`
+	PhaseLatency []phaseLatency `json:"phase_latency"`
+	Throughput   struct {
 		Requests               int     `json:"requests"`
 		SerialOpsPerSec        float64 `json:"serial_ops_per_sec"`
 		ConcurrentOpsPerSec    float64 `json:"concurrent_ops_per_sec"`
@@ -65,6 +77,19 @@ func writeJSON(exps []exp.Experiment, path string) error {
 			CSV:      tab.CSV(),
 		})
 	}
+	phases, _, err := exp.PhaseProfile(1500, "framediff")
+	if err != nil {
+		return fmt.Errorf("phase profile: %w", err)
+	}
+	for _, pq := range phases {
+		out.PhaseLatency = append(out.PhaseLatency, phaseLatency{
+			Phase: pq.Phase,
+			P50Ns: pq.P50.Duration().Nanoseconds(),
+			P95Ns: pq.P95.Duration().Nanoseconds(),
+			P99Ns: pq.P99.Duration().Nanoseconds(),
+			Count: pq.Count,
+		})
+	}
 	r, err := exp.RunE16(2000)
 	if err != nil {
 		return fmt.Errorf("e16 throughput: %w", err)
@@ -86,7 +111,7 @@ func writeJSON(exps []exp.Experiment, path string) error {
 }
 
 func main() {
-	expID := flag.String("exp", "all", "experiment id (e1..e16) or 'all'")
+	expID := flag.String("exp", "all", "experiment id (e1..e17) or 'all'")
 	format := flag.String("format", "text", "output format: text|csv")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH.json")
 	list := flag.Bool("list", false, "list experiments and exit")

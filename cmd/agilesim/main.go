@@ -11,17 +11,22 @@
 //	agilesim -policy fifo -codec rle -cols 24 -no-scatter
 //	agilesim -prefetch -diff -sched window         # the full mini OS
 //	agilesim -trace run.jsonl                      # export the event log
+//	agilesim -trace-chrome run.json                # Perfetto/chrome://tracing timeline
+//	agilesim -metrics-addr :9090                   # live /metrics + /healthz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"agilefpga/internal/algos"
 	"agilefpga/internal/core"
 	"agilefpga/internal/fpga"
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/sched"
 	"agilefpga/internal/sim"
 	"agilefpga/internal/trace"
@@ -42,7 +47,36 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "configuration prefetching")
 	schedName := flag.String("sched", "fifo", "host queue scheduler: fifo|sticky|window")
 	tracePath := flag.String("trace", "", "write the event log as JSON lines to this file")
+	chromePath := flag.String("trace-chrome", "", "write the event log as Chrome trace-event JSON to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /healthz on this address, e.g. :9090; keeps serving after the run")
 	flag.Parse()
+
+	var reg *metrics.Registry
+	var metricsLn net.Listener
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		var err error
+		metricsLn, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if _, err := reg.WriteTo(w); err != nil {
+				log.Printf("agilesim: /metrics: %v", err)
+			}
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		go func() {
+			if err := http.Serve(metricsLn, mux); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		fmt.Printf("serving /metrics and /healthz on http://%s\n", metricsLn.Addr())
+	}
 
 	cp, err := core.New(core.Config{
 		Geometry:   fpga.Geometry{Rows: *rows, Cols: *cols},
@@ -51,12 +85,13 @@ func main() {
 		NoScatter:  *noScatter,
 		DiffReload: *diff,
 		Prefetch:   *prefetch,
+		Metrics:    reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	var eventLog *trace.Log
-	if *tracePath != "" {
+	if *tracePath != "" || *chromePath != "" {
 		eventLog = &trace.Log{}
 		cp.SetTrace(eventLog)
 	}
@@ -154,7 +189,7 @@ func main() {
 		}
 	}
 
-	if eventLog != nil {
+	if eventLog != nil && *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			log.Fatal(err)
@@ -164,5 +199,33 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %d events to %s\n", eventLog.Len(), *tracePath)
+	}
+	if eventLog != nil && *chromePath != "" {
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := eventLog.WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d events as a Chrome trace to %s\n", eventLog.Len(), *chromePath)
+	}
+
+	if reg != nil {
+		fmt.Printf("\nlatency quantiles (virtual time, from the telemetry histograms):\n")
+		for p := 0; p < sim.NumPhases; p++ {
+			match := metrics.L("phase", sim.Phase(p).String())
+			p50, n := reg.QuantileWhere("agile_phase_seconds", 0.50, match)
+			if n == 0 {
+				continue
+			}
+			p95, _ := reg.QuantileWhere("agile_phase_seconds", 0.95, match)
+			p99, _ := reg.QuantileWhere("agile_phase_seconds", 0.99, match)
+			fmt.Printf("  %-11s p50 %-12v p95 %-12v p99 %-12v (%d obs)\n",
+				sim.Phase(p), p50, p95, p99, n)
+		}
+		fmt.Printf("\nmetrics live on http://%s/metrics — ctrl-c to exit\n", metricsLn.Addr())
+		select {}
 	}
 }

@@ -30,13 +30,16 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"agilefpga/internal/algos"
 	"agilefpga/internal/core"
 	"agilefpga/internal/mcu"
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/sched"
+	"agilefpga/internal/trace"
 )
 
 // Modes.
@@ -93,6 +96,12 @@ type Cluster struct {
 	wg        sync.WaitGroup
 	startOnce sync.Once
 	closeOnce sync.Once
+
+	// metrics is the shared telemetry registry every card records into
+	// (nil when core.Config.Metrics was nil); cardLabels caches the
+	// per-card label the dispatcher gauges carry.
+	metrics    *metrics.Registry
+	cardLabels []metrics.Label
 }
 
 // New builds a cluster of n cards sharing one configuration, provisioning
@@ -120,12 +129,15 @@ func NewWithOptions(n int, mode string, cfg core.Config, opts Options) (*Cluster
 		load:     make([]int, n),
 		opts:     opts,
 	}
+	cl.metrics = cfg.Metrics
 	for i := 0; i < n; i++ {
 		cp, err := core.New(cfg)
 		if err != nil {
 			return nil, err
 		}
+		cp.SetCard(i)
 		cl.cards = append(cl.cards, cp)
+		cl.cardLabels = append(cl.cardLabels, metrics.L("card", strconv.Itoa(i)))
 	}
 	geom := cl.cards[0].Controller().Fabric().Geometry()
 	for _, f := range algos.Bank() {
@@ -331,6 +343,10 @@ func (cl *Cluster) Submit(fnID uint16, input []byte) *Pending {
 	cl.startOnce.Do(cl.startWorkers)
 	p.card = card
 	cl.queues[card] <- p
+	if cl.metrics != nil {
+		cl.metrics.Counter("agile_cluster_submitted_total", cl.cardLabels[card]).Inc()
+		cl.metrics.Gauge("agile_cluster_queue_depth", cl.cardLabels[card]).Inc()
+	}
 	return p
 }
 
@@ -360,6 +376,10 @@ func (cl *Cluster) startWorkers() {
 func (cl *Cluster) worker(card int) {
 	defer cl.wg.Done()
 	q := cl.queues[card]
+	var depth *metrics.Gauge
+	if cl.metrics != nil {
+		depth = cl.metrics.Gauge("agile_cluster_queue_depth", cl.cardLabels[card])
+	}
 	var held *Pending
 	for {
 		var p *Pending
@@ -371,6 +391,7 @@ func (cl *Cluster) worker(card int) {
 			if !ok {
 				return
 			}
+			depth.Dec()
 		}
 		run := []*Pending{p}
 	coalesce:
@@ -380,6 +401,7 @@ func (cl *Cluster) worker(card int) {
 				if !ok {
 					break coalesce
 				}
+				depth.Dec()
 				if next.fn == p.fn {
 					run = append(run, next)
 				} else {
@@ -397,6 +419,15 @@ func (cl *Cluster) worker(card int) {
 // serveRun executes a coalesced run of same-function jobs on one card.
 func (cl *Cluster) serveRun(card int, run []*Pending) {
 	cp := cl.cards[card]
+	if cl.metrics != nil {
+		busy := cl.metrics.Gauge("agile_cluster_worker_busy", cl.cardLabels[card])
+		busy.Set(1)
+		defer busy.Set(0)
+		if len(run) > 1 {
+			cl.metrics.Counter("agile_cluster_coalesce_runs_total", cl.cardLabels[card]).Inc()
+			cl.metrics.Counter("agile_cluster_coalesced_jobs_total", cl.cardLabels[card]).Add(uint64(len(run)))
+		}
+	}
 	if len(run) == 1 {
 		res, err := cp.CallID(run[0].fn, run[0].input)
 		run[0].complete(res, card, err)
@@ -498,8 +529,18 @@ func (cl *Cluster) Stats() Stats {
 		out.Total.FramesLoaded += st.FramesLoaded
 		out.Total.RawConfigBytes += st.RawConfigBytes
 		out.Total.CompConfigBytes += st.CompConfigBytes
+		out.Total.ContigPlacements += st.ContigPlacements
+		out.Total.ScatterPlacements += st.ScatterPlacements
+		out.Total.FramesSkipped += st.FramesSkipped
+		out.Total.Prefetches += st.Prefetches
+		out.Total.PrefetchHits += st.PrefetchHits
+		out.Total.PrefetchTime += st.PrefetchTime
 		out.Total.DecompCacheHits += st.DecompCacheHits
 		out.Total.DecompCacheBytes += st.DecompCacheBytes
+		out.Total.SEURepairs += st.SEURepairs
+		out.Total.ScrubTime += st.ScrubTime
+		out.Total.Defrags += st.Defrags
+		out.Total.Errors += st.Errors
 		out.Total.Phases.AddAll(st.Phases)
 	}
 	if out.Total.Requests > 0 {
@@ -507,6 +548,19 @@ func (cl *Cluster) Stats() Stats {
 	}
 	return out
 }
+
+// SetTrace attaches one shared event log to every card, so cluster runs
+// interleave all cards' events (each stamped with its card identity) in
+// a single timeline. Pass nil to disable.
+func (cl *Cluster) SetTrace(l *trace.Log) {
+	for _, cp := range cl.cards {
+		cp.SetTrace(l)
+	}
+}
+
+// Metrics exposes the shared telemetry registry (nil when the cluster
+// was built without one).
+func (cl *Cluster) Metrics() *metrics.Registry { return cl.metrics }
 
 // CheckInvariants verifies every card's mini-OS bookkeeping.
 func (cl *Cluster) CheckInvariants() error {

@@ -122,6 +122,7 @@ func (cp *CoProcessor) callBatchID(fnID uint16, inputs [][]byte) (*BatchResult, 
 			res.Hits++
 		}
 		itemBr.Add(sim.PhasePCI, inT+outT)
+		cp.observeRoundTrip(fnID, itemBr)
 		res.Results = append(res.Results, &CallResult{
 			Output:    out,
 			Breakdown: itemBr,

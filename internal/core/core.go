@@ -20,6 +20,7 @@ import (
 	"agilefpga/internal/fpga"
 	"agilefpga/internal/mcu"
 	"agilefpga/internal/memory"
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/pci"
 	"agilefpga/internal/replace"
 	"agilefpga/internal/sim"
@@ -59,6 +60,12 @@ type Config struct {
 	// whose decoded frame images are cached skip decompression entirely.
 	// 0 disables the cache.
 	DecodeCacheBytes int
+	// Metrics, when non-nil, receives the telemetry the card and host
+	// driver produce: per-phase latency histograms, request/error
+	// counters, cache and prefetch behaviour. Observation is passive —
+	// it never advances a clock domain — so attaching a registry changes
+	// no virtual-time result.
+	Metrics *metrics.Registry
 }
 
 // CoProcessor is the assembled card plus its host driver. All exported
@@ -79,6 +86,7 @@ type CoProcessor struct {
 	slot      int
 	installed map[uint16]*algos.Function
 	serial    uint16
+	metrics   *metrics.Registry
 }
 
 // CallResult reports one co-processor invocation.
@@ -130,6 +138,7 @@ func New(cfg Config) (*CoProcessor, error) {
 		Prefetch:         cfg.Prefetch,
 		ROMImage:         cfg.ROMImage,
 		DecodeCacheBytes: cfg.DecodeCacheBytes,
+		Metrics:          cfg.Metrics,
 	}, reg)
 	if err != nil {
 		return nil, err
@@ -153,6 +162,7 @@ func New(cfg Config) (*CoProcessor, error) {
 		hostDom:   sim.NewDomain("host", HostHz),
 		slot:      slot,
 		installed: make(map[uint16]*algos.Function),
+		metrics:   cfg.Metrics,
 	}
 	// A pre-burned ROM makes its functions callable immediately; the
 	// serial counter resumes above the highest burned serial so later
@@ -395,12 +405,36 @@ func (cp *CoProcessor) callID(fnID uint16, input []byte) (*CallResult, error) {
 
 	br := cp.ctrl.LastBreakdown()
 	br.Add(sim.PhasePCI, cp.pciDom.Advance(busCycles))
+	cp.observeRoundTrip(fnID, br)
 	return &CallResult{
 		Output:    out,
 		Breakdown: br,
 		Latency:   br.Total(),
 		Hit:       cp.ctrl.Stats().Hits > hitsBefore,
 	}, nil
+}
+
+// observeRoundTrip records the host-side view of one finished call: the
+// PCI phase (charged here, not on the card) and the whole-round-trip
+// latency histogram. Card-side phases are observed in mcu.
+func (cp *CoProcessor) observeRoundTrip(fnID uint16, br sim.Breakdown) {
+	if cp.metrics == nil {
+		return
+	}
+	name := cp.fnLabel(fnID)
+	if t := br.Get(sim.PhasePCI); t != 0 {
+		cp.metrics.Histogram("agile_phase_seconds",
+			metrics.L("phase", sim.PhasePCI.String()), metrics.L("fn", name)).Observe(t)
+	}
+	cp.metrics.Histogram("agile_request_seconds", metrics.L("fn", name)).Observe(br.Total())
+}
+
+// fnLabel resolves a function id to its bank name for metric labels.
+func (cp *CoProcessor) fnLabel(fnID uint16) string {
+	if f, ok := cp.installed[fnID]; ok {
+		return f.Name()
+	}
+	return fmt.Sprintf("fn%d", fnID)
 }
 
 // RunHost executes the function in host software: the same behaviour,
@@ -428,6 +462,17 @@ func (cp *CoProcessor) SetTrace(l *trace.Log) {
 	defer cp.mu.Unlock()
 	cp.ctrl.SetTrace(l)
 }
+
+// SetCard stamps the card's identity onto its trace events and metric
+// labels — the cluster numbers its cards with this.
+func (cp *CoProcessor) SetCard(card int) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.ctrl.SetCard(card)
+}
+
+// Metrics exposes the telemetry registry (nil when not configured).
+func (cp *CoProcessor) Metrics() *metrics.Registry { return cp.metrics }
 
 // Stats exposes the card's counters.
 func (cp *CoProcessor) Stats() mcu.Stats {

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/workload"
+)
+
+// E17 — per-phase latency distributions. The earlier experiments report
+// phase *totals*; totals hide the shape. A codec that halves the mean
+// configure time but fattens its tail is a worse interactive co-processor
+// than the totals suggest. This experiment drives the same Zipf request
+// stream through one card per codec with the telemetry registry attached
+// and reads the latency quantiles the histograms record: the configure
+// phase (where codecs differ) and the whole card-side request.
+//
+// Metrics observation is passive — the registry never advances a clock
+// domain — so the quantiles describe exactly the run E3/E8 measure.
+type E17Result struct {
+	Table Table
+}
+
+func (r *E17Result) table() *Table { return &r.Table }
+
+// PhaseQuantile summarises one pipeline phase's latency distribution.
+type PhaseQuantile struct {
+	Phase string
+	P50   sim.Time
+	P95   sim.Time
+	P99   sim.Time
+	Count uint64
+}
+
+// PhaseProfile drives requests through one instrumented card and returns
+// the per-phase latency quantiles, in pipeline-phase order. Phases with
+// no observations are omitted.
+func PhaseProfile(requests int, codec string) ([]PhaseQuantile, *metrics.Registry, error) {
+	if requests <= 0 {
+		requests = 1500
+	}
+	reg := metrics.NewRegistry()
+	cp, err := core.New(core.Config{
+		Geometry: fpga.Geometry{Rows: 32, Cols: 40},
+		Codec:    codec,
+		Metrics:  reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := cp.InstallBank(); err != nil {
+		return nil, nil, err
+	}
+	var ids []uint16
+	for _, f := range algos.Bank() {
+		ids = append(ids, f.ID())
+	}
+	gen, err := workload.NewZipf(ids, 1.1, 20_05)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < requests; i++ {
+		fn := gen.Next()
+		f, err := byID(fn)
+		if err != nil {
+			return nil, nil, err
+		}
+		in := make([]byte, f.BlockBytes)
+		in[0], in[1] = byte(i), byte(i>>8)
+		if _, err := cp.CallID(fn, in); err != nil {
+			return nil, nil, fmt.Errorf("exp: E17 request %d: %w", i, err)
+		}
+	}
+	if err := cp.CheckInvariants(); err != nil {
+		return nil, nil, err
+	}
+	var out []PhaseQuantile
+	for p := 0; p < sim.NumPhases; p++ {
+		phase := sim.Phase(p).String()
+		match := metrics.L("phase", phase)
+		p50, n := reg.QuantileWhere("agile_phase_seconds", 0.50, match)
+		if n == 0 {
+			continue
+		}
+		p95, _ := reg.QuantileWhere("agile_phase_seconds", 0.95, match)
+		p99, _ := reg.QuantileWhere("agile_phase_seconds", 0.99, match)
+		out = append(out, PhaseQuantile{Phase: phase, P50: p50, P95: p95, P99: p99, Count: n})
+	}
+	return out, reg, nil
+}
+
+// RunE17 compares the configure-phase and whole-request latency
+// distributions across every bitstream codec.
+func RunE17(requests int) (*E17Result, error) {
+	if requests <= 0 {
+		requests = 1500
+	}
+	res := &E17Result{Table: Table{
+		Title: fmt.Sprintf("E17  Per-phase latency distributions (%d Zipf requests, 40-frame card)", requests),
+		Header: []string{"codec", "decompress p50", "decompress p95", "decompress p99",
+			"request p50", "request p99", "reconfigs"},
+	}}
+	for _, codec := range []string{"none", "rle", "lz77", "huffman", "framediff"} {
+		phases, reg, err := PhaseProfile(requests, codec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: E17 codec %s: %w", codec, err)
+		}
+		var dec PhaseQuantile
+		for _, pq := range phases {
+			if pq.Phase == sim.PhaseDecompress.String() {
+				dec = pq
+			}
+		}
+		reqP50, _ := reg.QuantileWhere("agile_request_seconds", 0.50)
+		reqP99, _ := reg.QuantileWhere("agile_request_seconds", 0.99)
+		res.Table.AddRow(codec, dec.P50, dec.P95, dec.P99, reqP50, reqP99, dec.Count)
+	}
+	res.Table.Caption = "quantiles from the telemetry histograms — the decompress tail (p99) separates codecs whose configure-time means look alike"
+	return res, nil
+}

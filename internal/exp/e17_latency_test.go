@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"testing"
+
+	"agilefpga/internal/sim"
+)
+
+// Shape test for E17: quantiles exist, are ordered, and huffman's
+// decompress tail dominates the byte-rate codecs'.
+func TestE17Shape(t *testing.T) {
+	fast, _, err := PhaseProfile(300, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _, err := PhaseProfile(300, "huffman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(pqs []PhaseQuantile, phase sim.Phase) PhaseQuantile {
+		for _, pq := range pqs {
+			if pq.Phase == phase.String() {
+				return pq
+			}
+		}
+		t.Fatalf("phase %s missing from profile", phase)
+		return PhaseQuantile{}
+	}
+	for _, pqs := range [][]PhaseQuantile{fast, slow} {
+		for _, pq := range pqs {
+			if pq.P50 > pq.P95 || pq.P95 > pq.P99 {
+				t.Errorf("%s: quantiles not monotone: p50 %v p95 %v p99 %v",
+					pq.Phase, pq.P50, pq.P95, pq.P99)
+			}
+			if pq.Count == 0 {
+				t.Errorf("%s: zero observations reported", pq.Phase)
+			}
+		}
+		if exec := pick(pqs, sim.PhaseExec); exec.Count != 300 {
+			t.Errorf("exec observations = %d, want one per request", exec.Count)
+		}
+	}
+	if f, s := pick(fast, sim.PhaseDecompress), pick(slow, sim.PhaseDecompress); s.P99 <= f.P99 {
+		t.Errorf("huffman decompress p99 %v not above none %v", s.P99, f.P99)
+	}
+}

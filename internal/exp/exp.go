@@ -80,6 +80,10 @@ func All() []Experiment {
 			r, err := RunE16(2000)
 			return tableOf(r, err)
 		}},
+		{"e17", "Per-phase latency distributions", func() (*Table, error) {
+			r, err := RunE17(1500)
+			return tableOf(r, err)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return expNum(exps[i].ID) < expNum(exps[j].ID) })
 	return exps

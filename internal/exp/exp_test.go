@@ -212,7 +212,7 @@ func TestE8ROMCapacityShape(t *testing.T) {
 
 func TestCatalogue(t *testing.T) {
 	exps := All()
-	if len(exps) != 16 {
+	if len(exps) != 17 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	if _, err := ByID("e3"); err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"agilefpga/internal/fpga"
 	"agilefpga/internal/memory"
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/replace"
 	"agilefpga/internal/sim"
 	"agilefpga/internal/trace"
@@ -70,6 +71,10 @@ type Config struct {
 	// (PhaseDecompress = 0); the frames are read back from RAM
 	// (PhaseCache) and pushed through the port as usual. 0 disables.
 	DecodeCacheBytes int
+	// Metrics, when non-nil, receives per-phase latency histograms and
+	// behaviour counters. Observation is passive: it never advances a
+	// clock domain, so enabling metrics changes no virtual-time result.
+	Metrics *metrics.Registry
 }
 
 // Default sizing: a 512 KiB bitstream ROM and 64 KiB of staging RAM, on
@@ -107,10 +112,26 @@ type Controller struct {
 
 	// traceLog, when set, receives structured events (nil = disabled).
 	traceLog *trace.Log
+	// card is the identity stamped onto trace events — 0 for a
+	// single-card system, the card index inside a cluster.
+	card int
+
+	// metrics, when set, receives histograms and counters (nil = off).
+	metrics *metrics.Registry
+	// fnNames caches fn id → record name for metric labels, filled as
+	// records are seen (bounded by the ROM's record table).
+	fnNames map[uint16]string
 }
 
 // SetTrace attaches an event log; pass nil to disable tracing.
 func (c *Controller) SetTrace(l *trace.Log) { c.traceLog = l }
+
+// SetCard sets the card identity stamped onto trace events (a cluster
+// assigns each card its index; single-card systems keep 0).
+func (c *Controller) SetCard(card int) { c.card = card }
+
+// SetMetrics attaches a telemetry registry; pass nil to disable.
+func (c *Controller) SetMetrics(r *metrics.Registry) { c.metrics = r }
 
 // emit records a trace event stamped with accumulated card time.
 func (c *Controller) emit(kind trace.Kind, fn uint16, frames, bytes int, detail string) {
@@ -124,7 +145,75 @@ func (c *Controller) emit(kind trace.Kind, fn uint16, frames, bytes int, detail 
 		Frames: frames,
 		Bytes:  bytes,
 		Detail: detail,
+		Card:   c.card,
 	})
+}
+
+// emitSpans records one span event per non-zero phase of a finished
+// request, laid end to end from base in pipeline order — the data the
+// Chrome trace exporter renders as a cards × phases timeline.
+func (c *Controller) emitSpans(fn uint16, base sim.Time, br sim.Breakdown) {
+	if c.traceLog == nil {
+		return
+	}
+	off := base
+	for p := 0; p < sim.NumPhases; p++ {
+		t := br.Get(sim.Phase(p))
+		if t == 0 {
+			continue
+		}
+		c.traceLog.Record(trace.Event{
+			TimePS: uint64(off),
+			Kind:   trace.KindSpan,
+			Fn:     fn,
+			Detail: sim.Phase(p).String(),
+			DurPS:  uint64(t),
+			Card:   c.card,
+		})
+		off += t
+	}
+}
+
+// noteFn caches a record's name for metric labels.
+func (c *Controller) noteFn(rec memory.Record) {
+	if _, ok := c.fnNames[rec.FnID]; !ok {
+		c.fnNames[rec.FnID] = rec.Name
+	}
+}
+
+// fnLabel resolves a function id to its metric label.
+func (c *Controller) fnLabel(fn uint16) string {
+	if name, ok := c.fnNames[fn]; ok {
+		return name
+	}
+	return fmt.Sprintf("fn%d", fn)
+}
+
+// observeRequest records one finished request into the registry: a
+// latency histogram per non-zero phase plus the request counter by
+// result. All card-side phases are covered; the host adds PhasePCI in
+// core, observed there.
+func (c *Controller) observeRequest(fn uint16, br sim.Breakdown, hit bool, reqErr error) {
+	if c.metrics == nil {
+		return
+	}
+	name := c.fnLabel(fn)
+	for p := 0; p < sim.NumPhases; p++ {
+		if t := br.Get(sim.Phase(p)); t != 0 {
+			c.metrics.Histogram("agile_phase_seconds",
+				metrics.L("phase", sim.Phase(p).String()), metrics.L("fn", name)).Observe(t)
+		}
+	}
+	result := "miss"
+	switch {
+	case reqErr != nil:
+		result = "error"
+		c.metrics.Counter("agile_errors_total", metrics.L("fn", name)).Inc()
+	case hit:
+		result = "hit"
+	}
+	c.metrics.Counter("agile_requests_total",
+		metrics.L("fn", name), metrics.L("result", result)).Inc()
 }
 
 // resident is one Frame Replacement Table entry: the frames an algorithm
@@ -244,13 +333,15 @@ func New(cfg Config, reg *fpga.Registry) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{
-		cfg:    cfg,
-		fab:    fpga.NewFabric(cfg.Geometry, reg),
-		rom:    rom,
-		ram:    ram,
-		mcuDom: sim.NewDomain("mcu", MCUHz),
-		cfgDom: sim.NewDomain("cfg", CfgHz),
-		fabDom: sim.NewDomain("fabric", FabricHz),
+		cfg:     cfg,
+		fab:     fpga.NewFabric(cfg.Geometry, reg),
+		rom:     rom,
+		ram:     ram,
+		mcuDom:  sim.NewDomain("mcu", MCUHz),
+		cfgDom:  sim.NewDomain("cfg", CfgHz),
+		fabDom:  sim.NewDomain("fabric", FabricHz),
+		metrics: cfg.Metrics,
+		fnNames: make(map[uint16]string),
 	}
 	if cfg.DecodeCacheBytes > 0 {
 		c.dcache = newDecodeCache(cfg.DecodeCacheBytes)
@@ -274,7 +365,14 @@ func (c *Controller) Fabric() *fpga.Fabric { return c.fab }
 // ROM exposes the bitstream store.
 func (c *Controller) ROM() *memory.ROM { return c.rom }
 
-// Stats returns a copy of the accumulated statistics.
+// Stats returns an unsynchronized copy of the accumulated statistics.
+// The Controller itself performs no locking: concurrent callers must
+// hold the owning card's lock — core.CoProcessor serialises every entry
+// point (including its Stats) behind one mutex per card, which is the
+// only reason cluster-wide aggregation is race-free. Calling this
+// directly while another goroutine drives Execute through the same
+// controller is a data race (asserted by TestStatsRequiresCardLock in
+// internal/core).
 func (c *Controller) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the statistics (not the mini-OS state).
@@ -337,14 +435,19 @@ func (c *Controller) Evict(fn uint16) bool {
 // this request (excluding PCI transfer, which the host side owns).
 func (c *Controller) Execute(fnID uint16, input []byte) ([]byte, sim.Breakdown, error) {
 	var br sim.Breakdown
+	spanBase := c.stats.Phases.Total() + c.stats.PrefetchTime
+	hitsBefore := c.stats.Hits
 	out, err := c.execute(fnID, input, &br)
 	c.lastBreakdown = br
 	c.stats.Phases.AddAll(br)
 	if err != nil {
 		c.stats.Errors++
 		c.emit(trace.KindError, fnID, 0, 0, err.Error())
+		c.observeRequest(fnID, br, false, err)
 		return nil, br, err
 	}
+	c.emitSpans(fnID, spanBase, br)
+	c.observeRequest(fnID, br, c.stats.Hits > hitsBefore, nil)
 	if c.cfg.Prefetch {
 		c.prefetchNext(fnID)
 	}
@@ -379,9 +482,19 @@ func (c *Controller) prefetchNext(cur uint16) {
 			k.prefetched[pred] = true
 			c.stats.Prefetches++
 			c.emit(trace.KindPrefetch, pred, len(res.frames), 0, "")
+			if c.metrics != nil {
+				c.metrics.Counter("agile_prefetches_total",
+					metrics.L("fn", c.fnLabel(pred))).Inc()
+			}
 		}
 	}
 	c.stats.PrefetchTime += br.Total()
+	if c.metrics != nil && br.Total() != 0 {
+		// Off-request work labels with the prefetch pseudo-phase.
+		c.metrics.Histogram("agile_phase_seconds",
+			metrics.L("phase", sim.PhasePrefetch.String()),
+			metrics.L("fn", c.fnLabel(pred))).Observe(br.Total())
+	}
 }
 
 func (c *Controller) execute(fnID uint16, input []byte, br *sim.Breakdown) ([]byte, error) {
@@ -398,6 +511,7 @@ func (c *Controller) execute(fnID uint16, input []byte, br *sim.Breakdown) ([]by
 	if err != nil {
 		return nil, err
 	}
+	c.noteFn(rec)
 
 	// Hit or miss against the Frame Replacement Table.
 	res, hit := c.kernel.table[fnID]

@@ -9,6 +9,7 @@ import (
 	"agilefpga/internal/bitstream"
 	"agilefpga/internal/compress"
 	"agilefpga/internal/memory"
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/sim"
 	"agilefpga/internal/trace"
 )
@@ -21,6 +22,7 @@ import (
 // (evicting if necessary), streams and decompresses the bitstream window
 // by window into the configuration port, and activates the function.
 func (c *Controller) load(rec memory.Record, br *sim.Breakdown) (*resident, error) {
+	c.noteFn(rec)
 	demand := int(rec.FrameCount)
 	if demand > c.cfg.Geometry.NumFrames() {
 		return nil, fmt.Errorf("%w: %q needs %d frames, device has %d",
@@ -63,6 +65,10 @@ func (c *Controller) load(rec memory.Record, br *sim.Breakdown) (*resident, erro
 	res := &resident{frames: frames, inst: inst, serial: rec.Serial, lastAccess: c.kernel.now}
 	c.kernel.table[rec.FnID] = res
 	c.kernel.policy.OnInstall(rec.FnID, c.kernel.now)
+	if c.metrics != nil {
+		c.metrics.Counter("agile_frames_loaded_total",
+			metrics.L("fn", c.fnLabel(rec.FnID))).Add(uint64(len(frames)))
+	}
 	return res, nil
 }
 
@@ -194,6 +200,9 @@ func (c *Controller) evict(fn uint16, br *sim.Breakdown) {
 	c.kernel.policy.OnEvict(fn)
 	c.stats.Evictions++
 	c.emit(trace.KindEvict, fn, len(res.frames), 0, "")
+	if c.metrics != nil {
+		c.metrics.Counter("agile_evictions_total", metrics.L("fn", c.fnLabel(fn))).Inc()
+	}
 	// Table update + frame scrubbing cost.
 	br.Add(sim.PhaseOverhead, c.mcuDom.Advance(uint64(8+2*len(res.frames))))
 }
@@ -281,6 +290,10 @@ func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdow
 			c.stats.FramesLoaded += uint64(len(frames))
 			c.stats.RawConfigBytes += uint64(raw)
 			c.emit(trace.KindConfigure, rec.FnID, len(frames), raw, "decode-cache")
+			if c.metrics != nil {
+				c.metrics.Counter("agile_decode_cache_hits_total",
+					metrics.L("fn", c.fnLabel(rec.FnID))).Inc()
+			}
 			return nil
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"agilefpga/internal/bitstream"
 	"agilefpga/internal/compress"
 	"agilefpga/internal/memory"
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/sim"
 	"agilefpga/internal/trace"
 )
@@ -91,6 +92,12 @@ func (c *Controller) Scrub() (ScrubReport, error) {
 	rep.Time = br.Total()
 	c.stats.ScrubTime += rep.Time
 	c.stats.Phases.AddAll(br)
+	if c.metrics != nil && rep.Time != 0 {
+		c.metrics.Histogram("agile_scrub_seconds").Observe(rep.Time)
+		c.metrics.Histogram("agile_phase_seconds",
+			metrics.L("phase", sim.PhaseScrub.String()),
+			metrics.L("fn", "all")).Observe(rep.Time)
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4), the format every
+// Prometheus-compatible scraper understands. Virtual-time values are
+// exported in seconds, the Prometheus base unit, so dashboards read
+// "0.0014" for a 1.4 ms reconfiguration regardless of the picosecond
+// resolution underneath.
+
+// help strings for the metric families this repository records. Names
+// outside the map export without a HELP line.
+var helpFor = map[string]string{
+	"agile_phase_seconds":                "Virtual-time latency per request phase, per function.",
+	"agile_request_seconds":              "End-to-end virtual request latency including the PCI round trip.",
+	"agile_requests_total":               "Requests served, by function and result (hit, miss, error).",
+	"agile_errors_total":                 "Failed requests, by function.",
+	"agile_evictions_total":              "Frame Replacement Policy evictions, by function.",
+	"agile_frames_loaded_total":          "Configuration frames written to the fabric, by function.",
+	"agile_prefetches_total":             "Speculative configuration loads issued, by function.",
+	"agile_scrub_seconds":                "Virtual time per SEU scrub pass.",
+	"agile_decode_cache_hits_total":      "Reloads served from the decoded-frame cache, by function.",
+	"agile_cluster_submitted_total":      "Jobs submitted to a card's queue, by card.",
+	"agile_cluster_queue_depth":          "Jobs currently waiting in a card's submission queue.",
+	"agile_cluster_worker_busy":          "Whether a card's worker is executing a run (0/1).",
+	"agile_cluster_coalesce_runs_total":  "Coalesced runs executed by a card's worker.",
+	"agile_cluster_coalesced_jobs_total": "Jobs folded into coalesced runs, by card.",
+}
+
+// formatSeconds renders virtual time as seconds with full precision.
+func formatSeconds(t uint64) string {
+	return strconv.FormatFloat(float64(t)/1e12, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// labelString renders labels as {k="v",...} ("" when empty).
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelStringWith appends one extra pair (used for histogram le labels).
+func labelStringWith(labels []Label, key, value string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{Key: key, Value: value})
+	return labelString(all)
+}
+
+// WriteTo writes the whole registry in Prometheus text exposition
+// format. It implements io.WriterTo; output order is deterministic
+// (series sorted by name then labels). Safe on a nil registry.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	snaps := r.Snapshot()
+	emit := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	lastName := ""
+	for _, s := range snaps {
+		if s.Name != lastName {
+			lastName = s.Name
+			if help, ok := helpFor[s.Name]; ok {
+				if err := emit("# HELP %s %s\n", s.Name, help); err != nil {
+					return n, err
+				}
+			}
+			if err := emit("# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return n, err
+			}
+		}
+		switch s.Kind {
+		case "counter":
+			if err := emit("%s%s %d\n", s.Name, labelString(s.Labels), uint64(s.Value)); err != nil {
+				return n, err
+			}
+		case "gauge":
+			if err := emit("%s%s %d\n", s.Name, labelString(s.Labels), s.Value); err != nil {
+				return n, err
+			}
+		case "histogram":
+			cum := uint64(0)
+			for i, b := range s.Bounds {
+				cum += s.Buckets[i]
+				le := formatSeconds(uint64(b))
+				if err := emit("%s_bucket%s %d\n", s.Name, labelStringWith(s.Labels, "le", le), cum); err != nil {
+					return n, err
+				}
+			}
+			cum += s.Buckets[len(s.Bounds)]
+			if err := emit("%s_bucket%s %d\n", s.Name, labelStringWith(s.Labels, "le", "+Inf"), cum); err != nil {
+				return n, err
+			}
+			if err := emit("%s_sum%s %s\n", s.Name, labelString(s.Labels), formatSeconds(uint64(s.Sum))); err != nil {
+				return n, err
+			}
+			if err := emit("%s_count%s %d\n", s.Name, labelString(s.Labels), s.Count); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}

@@ -123,11 +123,19 @@ const (
 	PhaseDataOut                 // output-collection module fabric→RAM streaming
 	PhaseOverhead                // mini-OS bookkeeping (placement, tables)
 	PhaseCache                   // decoded-frame cache reads (RAM, not ROM+decode)
+	// PhasePrefetch and PhaseScrub never appear in a request Breakdown —
+	// their cost is off-request by design (Stats.PrefetchTime,
+	// Stats.ScrubTime). They exist so the telemetry layer can label
+	// latency histograms for that off-request work with the same Phase
+	// vocabulary the request path uses.
+	PhasePrefetch // speculative configuration loads during host idle time
+	PhaseScrub    // SEU readback-and-repair passes
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"pci", "rom", "decompress", "configure", "datain", "exec", "dataout", "overhead", "cache",
+	"prefetch", "scrub",
 }
 
 // String returns the lower-case phase name.

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"agilefpga/internal/sim"
+)
+
+// Chrome trace-event export: the JSON format chrome://tracing, Catapult
+// and Perfetto all load. A session renders as a timeline of cards ×
+// phases — each card becomes a process row, each pipeline phase a
+// thread row carrying its span events, and the point events (request,
+// hit, miss, evict, ...) land on a dedicated "events" row as instants.
+// Timestamps are virtual card time, exported in microseconds (the
+// format's native unit).
+
+// chromeEvent is one trace-event entry. Ph "X" = complete span, "i" =
+// instant, "M" = metadata (process/thread naming).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// instantTID is the thread row point events land on; span threads use
+// 1 + phase index so rows sort in pipeline order under each card.
+const instantTID = 0
+
+// psToUS converts picoseconds to trace-event microseconds.
+func psToUS(ps uint64) float64 { return float64(ps) / 1e6 }
+
+// spanTID maps a span event's phase name to its thread row.
+func spanTID(phase string) int {
+	for p := 0; p < sim.NumPhases; p++ {
+		if sim.Phase(p).String() == phase {
+			return 1 + p
+		}
+	}
+	return 1 + sim.NumPhases // unknown phase names share a trailing row
+}
+
+// WriteChromeTrace renders events as Chrome trace-event JSON. Output is
+// deterministic for a given event slice: metadata rows are emitted in
+// order of first appearance, then every event in log order.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out chromeFile
+	out.DisplayTimeUnit = "ns"
+	out.TraceEvents = []chromeEvent{}
+
+	type row struct{ pid, tid int }
+	named := make(map[row]bool)
+	nameRow := func(pid, tid int, name string) {
+		if named[row{pid, tid}] {
+			return
+		}
+		named[row{pid, tid}] = true
+		if tid == instantTID {
+			// First sight of the card: name the process too.
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]any{"name": cardName(pid)},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, e := range events {
+		pid := e.Card
+		nameRow(pid, instantTID, "events")
+		switch e.Kind {
+		case KindSpan:
+			tid := spanTID(e.Detail)
+			nameRow(pid, tid, e.Detail)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Detail, Cat: "phase", Ph: "X",
+				TS: psToUS(e.TimePS), Dur: psToUS(e.DurPS),
+				PID: pid, TID: tid,
+				Args: map[string]any{"fn": e.Fn},
+			})
+		default:
+			ce := chromeEvent{
+				Name: string(e.Kind), Cat: "event", Ph: "i",
+				TS: psToUS(e.TimePS), PID: pid, TID: instantTID, S: "t",
+				Args: map[string]any{"fn": e.Fn},
+			}
+			if e.Frames != 0 {
+				ce.Args["frames"] = e.Frames
+			}
+			if e.Bytes != 0 {
+				ce.Args["bytes"] = e.Bytes
+			}
+			if e.Detail != "" {
+				ce.Args["detail"] = e.Detail
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}
+
+// WriteChrome renders the whole log as Chrome trace-event JSON.
+func (l *Log) WriteChrome(w io.Writer) error {
+	return WriteChromeTrace(w, l.Events())
+}
+
+// cardName labels a process row.
+func cardName(card int) string {
+	return "card " + strconv.Itoa(card)
+}

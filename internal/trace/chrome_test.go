@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeSession is a small deterministic two-card session.
+func chromeSession() []Event {
+	return []Event{
+		{Seq: 1, TimePS: 0, Kind: KindRequest, Fn: 3, Card: 0},
+		{Seq: 2, TimePS: 0, Kind: KindMiss, Fn: 3, Card: 0},
+		{Seq: 3, TimePS: 0, Kind: KindConfigure, Fn: 3, Frames: 4, Bytes: 2688, Detail: "framediff", Card: 0},
+		{Seq: 4, TimePS: 0, Kind: KindSpan, Fn: 3, Detail: "configure", DurPS: 2_000_000, Card: 0},
+		{Seq: 5, TimePS: 2_000_000, Kind: KindSpan, Fn: 3, Detail: "exec", DurPS: 500_000, Card: 0},
+		{Seq: 6, TimePS: 1_000_000, Kind: KindRequest, Fn: 9, Card: 1},
+		{Seq: 7, TimePS: 1_000_000, Kind: KindHit, Fn: 9, Card: 1},
+		{Seq: 8, TimePS: 1_000_000, Kind: KindSpan, Fn: 9, Detail: "exec", DurPS: 250_000, Card: 1},
+	}
+}
+
+// chromeGolden is the expected export of chromeSession. Regenerate by
+// running the test with -update-chrome-golden logic removed and pasting
+// the fresh output — the format is deterministic, so any diff is a real
+// behaviour change.
+const chromeGolden = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "name": "card 0"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "name": "events"
+   }
+  },
+  {
+   "name": "request",
+   "cat": "event",
+   "ph": "i",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "s": "t",
+   "args": {
+    "fn": 3
+   }
+  },
+  {
+   "name": "miss",
+   "cat": "event",
+   "ph": "i",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "s": "t",
+   "args": {
+    "fn": 3
+   }
+  },
+  {
+   "name": "configure",
+   "cat": "event",
+   "ph": "i",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "s": "t",
+   "args": {
+    "bytes": 2688,
+    "detail": "framediff",
+    "fn": 3,
+    "frames": 4
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 4,
+   "args": {
+    "name": "configure"
+   }
+  },
+  {
+   "name": "configure",
+   "cat": "phase",
+   "ph": "X",
+   "ts": 0,
+   "dur": 2,
+   "pid": 0,
+   "tid": 4,
+   "args": {
+    "fn": 3
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 6,
+   "args": {
+    "name": "exec"
+   }
+  },
+  {
+   "name": "exec",
+   "cat": "phase",
+   "ph": "X",
+   "ts": 2,
+   "dur": 0.5,
+   "pid": 0,
+   "tid": 6,
+   "args": {
+    "fn": 3
+   }
+  },
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "card 1"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "events"
+   }
+  },
+  {
+   "name": "request",
+   "cat": "event",
+   "ph": "i",
+   "ts": 1,
+   "pid": 1,
+   "tid": 0,
+   "s": "t",
+   "args": {
+    "fn": 9
+   }
+  },
+  {
+   "name": "hit",
+   "cat": "event",
+   "ph": "i",
+   "ts": 1,
+   "pid": 1,
+   "tid": 0,
+   "s": "t",
+   "args": {
+    "fn": 9
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 6,
+   "args": {
+    "name": "exec"
+   }
+  },
+  {
+   "name": "exec",
+   "cat": "phase",
+   "ph": "X",
+   "ts": 1,
+   "dur": 0.25,
+   "pid": 1,
+   "tid": 6,
+   "args": {
+    "fn": 9
+   }
+  }
+ ],
+ "displayTimeUnit": "ns"
+}
+`
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, chromeSession()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != chromeGolden {
+		t.Errorf("chrome export drifted from golden.\ngot:\n%s", buf.String())
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, chromeSession()); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid JSON that Catapult/Perfetto can load:
+	// a traceEvents array where every entry has ph/pid/tid.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	spans, instants, meta := 0, 0, 0
+	for _, e := range parsed.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["dur"] == nil {
+				t.Errorf("span without dur: %v", e)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unknown ph in %v", e)
+		}
+		if _, ok := e["pid"]; !ok {
+			t.Errorf("event without pid: %v", e)
+		}
+	}
+	if spans != 3 || instants != 5 {
+		t.Errorf("spans=%d instants=%d, want 3 and 5", spans, instants)
+	}
+	if meta == 0 {
+		t.Error("no metadata rows — timelines would be unlabelled")
+	}
+}
+
+func TestChromeTraceFromLog(t *testing.T) {
+	l := &Log{}
+	for _, e := range chromeSession() {
+		l.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"displayTimeUnit": "ns"`) {
+		t.Error("log export missing header")
+	}
+}

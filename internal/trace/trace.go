@@ -1,7 +1,8 @@
 // Package trace records the co-processor's behaviour as a structured
 // event log: every request, hit, miss, placement, eviction,
 // configuration, prefetch and error, stamped with the card's virtual
-// time. Logs export as JSON lines for offline analysis (agilesim -trace)
+// time. Logs export as JSON lines for offline analysis (agilesim -trace),
+// as Chrome trace-event JSON for timeline rendering (see WriteChromeTrace),
 // and power the session summaries the examples print.
 //
 // Recording is opt-in and allocation-light: a nil *Log is a valid sink
@@ -30,10 +31,14 @@ const (
 	KindRevive    Kind = "revive"    // diff-flow revival (fn, frames)
 	KindPrefetch  Kind = "prefetch"  // speculative load (fn)
 	KindError     Kind = "error"     // request failed (detail)
+	KindSpan      Kind = "span"      // one phase of one request (detail = phase, dur_ps)
+	KindDrop      Kind = "drop"      // overflow marker: oldest events dropped (detail)
 )
 
 // Event is one log entry. TimePS is the card's virtual time in
-// picoseconds at the moment of recording.
+// picoseconds at the moment of recording; DurPS, set only on span
+// events, is the phase's virtual duration. Card identifies the emitting
+// card in a cluster (0 for a single-card system).
 type Event struct {
 	Seq    uint64 `json:"seq"`
 	TimePS uint64 `json:"time_ps"`
@@ -42,16 +47,20 @@ type Event struct {
 	Frames int    `json:"frames,omitempty"`
 	Bytes  int    `json:"bytes,omitempty"`
 	Detail string `json:"detail,omitempty"`
+	Card   int    `json:"card,omitempty"`
+	DurPS  uint64 `json:"dur_ps,omitempty"`
 }
 
 // Log is an in-memory event recorder. The zero value is ready to use; a
 // nil *Log silently discards events.
 type Log struct {
-	mu     sync.Mutex
-	events []Event
-	seq    uint64
+	mu      sync.Mutex
+	events  []Event
+	seq     uint64
+	counts  map[Kind]int
+	dropped uint64
 	// Cap bounds the log length; beyond it, the oldest half is dropped
-	// and a marker event notes the loss. Zero means 1<<20 events.
+	// and a KindDrop marker notes the loss. Zero means 1<<20 events.
 	Cap int
 }
 
@@ -63,22 +72,32 @@ func (l *Log) Record(e Event) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.counts == nil {
+		l.counts = make(map[Kind]int)
+	}
 	cap := l.Cap
 	if cap == 0 {
 		cap = 1 << 20
 	}
 	if len(l.events) >= cap {
-		dropped := len(l.events) / 2
-		l.events = append(l.events[:0], l.events[dropped:]...)
+		drop := len(l.events) / 2
+		for _, old := range l.events[:drop] {
+			l.counts[old.Kind]--
+		}
+		l.events = append(l.events[:0], l.events[drop:]...)
+		l.dropped += uint64(drop)
 		l.seq++
-		l.events = append(l.events, Event{
-			Seq: l.seq, Kind: KindError,
-			Detail: fmt.Sprintf("trace overflow: dropped %d oldest events", dropped),
-		})
+		marker := Event{
+			Seq: l.seq, Kind: KindDrop,
+			Detail: fmt.Sprintf("trace overflow: dropped %d oldest events", drop),
+		}
+		l.events = append(l.events, marker)
+		l.counts[KindDrop]++
 	}
 	l.seq++
 	e.Seq = l.seq
 	l.events = append(l.events, e)
+	l.counts[e.Kind]++
 }
 
 // Len reports the number of recorded events.
@@ -91,6 +110,17 @@ func (l *Log) Len() int {
 	return len(l.events)
 }
 
+// Dropped reports how many events overflow handling has discarded over
+// the log's lifetime (KindDrop markers themselves are not counted).
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
 // Events returns a copy of the log.
 func (l *Log) Events() []Event {
 	if l == nil {
@@ -101,20 +131,16 @@ func (l *Log) Events() []Event {
 	return append([]Event(nil), l.events...)
 }
 
-// Count tallies events of one kind.
+// Count tallies events of one kind currently held in the log. Tallies
+// are maintained at Record time, so Count is O(1) regardless of log
+// length.
 func (l *Log) Count(k Kind) int {
 	if l == nil {
 		return 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := 0
-	for _, e := range l.events {
-		if e.Kind == k {
-			n++
-		}
-	}
-	return n
+	return l.counts[k]
 }
 
 // WriteJSONL streams the log as JSON lines.

@@ -74,17 +74,86 @@ func TestOverflowDropsOldest(t *testing.T) {
 	}
 	found := false
 	for _, e := range l.Events() {
-		if e.Kind == KindError && strings.Contains(e.Detail, "overflow") {
+		if e.Kind == KindDrop && strings.Contains(e.Detail, "overflow") {
 			found = true
 		}
 	}
 	if !found {
 		t.Error("no overflow marker")
 	}
+	// The marker is not an error: KindError stays clean.
+	if got := l.Count(KindError); got != 0 {
+		t.Errorf("overflow polluted Count(KindError) = %d", got)
+	}
+	// Dropped events are accounted.
+	if l.Dropped() == 0 {
+		t.Error("Dropped() = 0 after overflow")
+	}
 	// The newest event survives.
 	ev := l.Events()
 	if ev[len(ev)-1].Fn != 24 {
 		t.Error("newest event lost")
+	}
+}
+
+func TestCountTracksOverflow(t *testing.T) {
+	l := &Log{Cap: 10}
+	for i := 0; i < 25; i++ {
+		k := KindRequest
+		if i%2 == 1 {
+			k = KindHit
+		}
+		l.Record(Event{Kind: k, Fn: uint16(i)})
+	}
+	// O(1) tallies must match a full scan after overflow halving.
+	want := map[Kind]int{}
+	for _, e := range l.Events() {
+		want[e.Kind]++
+	}
+	for _, k := range []Kind{KindRequest, KindHit, KindDrop, KindError} {
+		if got := l.Count(k); got != want[k] {
+			t.Errorf("Count(%s) = %d, scan says %d", k, got, want[k])
+		}
+	}
+}
+
+func TestReadJSONLMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":          "{not json",
+		"truncated object": `{"seq":1,"kind":"requ`,
+		"truncated stream": `{"seq":1,"time_ps":5,"kind":"request"}` + "\n" + `{"seq":2,"ki`,
+		"wrong type":       `{"seq":"one","kind":"request"}`,
+		"bare array":       `[1,2,3]`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+	}
+	// Empty input is a valid empty log, not an error.
+	events, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Errorf("empty input: events=%v err=%v", events, err)
+	}
+	// Whitespace-only likewise.
+	if _, err := ReadJSONL(strings.NewReader("\n\n  \n")); err != nil {
+		t.Errorf("whitespace input rejected: %v", err)
+	}
+}
+
+func TestReadJSONLPreservesNewFields(t *testing.T) {
+	l := &Log{}
+	l.Record(Event{Kind: KindSpan, Fn: 7, TimePS: 100, DurPS: 40, Detail: "configure", Card: 3})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Card != 3 || events[0].DurPS != 40 {
+		t.Errorf("span round trip lost fields: %+v", events)
 	}
 }
 

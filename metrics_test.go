@@ -1,0 +1,112 @@
+package agilefpga
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsDisabledByDefault(t *testing.T) {
+	cp, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Metrics() != nil {
+		t.Error("registry present without Config.Metrics")
+	}
+	// A nil *Metrics is a safe no-op.
+	var m *Metrics
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Error("nil Metrics wrote output")
+	}
+	if d, n := m.Quantile("agile_request_seconds", 0.5, nil); d != 0 || n != 0 {
+		t.Error("nil Metrics returned a quantile")
+	}
+}
+
+func TestMetricsEndToEnd(t *testing.T) {
+	cp, err := New(Config{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.InstallAll(); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, 64)
+	for i := 0; i < 4; i++ {
+		if _, err := cp.Call("aes128", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := cp.Metrics()
+	if m == nil {
+		t.Fatal("Config.Metrics did not attach a registry")
+	}
+	if p95, n := m.Quantile("agile_request_seconds", 0.95, map[string]string{"fn": "aes128"}); n != 4 || p95 <= 0 {
+		t.Errorf("quantile: p95=%v n=%d, want 4 observations", p95, n)
+	}
+
+	// The HTTP handler serves the exposition the scraper expects.
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE agile_phase_seconds histogram",
+		`agile_phase_seconds_bucket{fn="aes128",phase="configure",le="+Inf"}`,
+		`agile_requests_total{fn="aes128",result="hit"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestClusterMetricsAndTrace(t *testing.T) {
+	cl, err := NewCluster(2, ModeAffinity, Config{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tr := cl.StartTrace(0)
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		in := make([]byte, 64)
+		in[0] = byte(i)
+		jobs[i] = Job{Function: []string{"aes128", "sha1"}[i%2], Input: in}
+	}
+	if _, err := cl.Serve(jobs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Metrics() == nil {
+		t.Fatal("cluster registry missing")
+	}
+	var buf bytes.Buffer
+	if err := cl.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `agile_cluster_submitted_total{card="`) {
+		t.Error("exposition missing per-card dispatcher series")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	var chrome bytes.Buffer
+	if err := tr.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Error("chrome trace empty")
+	}
+}
