@@ -1,0 +1,171 @@
+// agilenetd serves a multi-card co-processor cluster over TCP, turning
+// the simulator into a network service: length-prefixed binary frames
+// in, status-coded responses out, with admission control in front of
+// the cards and Prometheus metrics on the side.
+//
+// Serve mode (the default):
+//
+//	agilenetd -addr :7600 -cards 4 -mode affinity
+//	agilenetd -addr :7600 -max-inflight 256 -metrics-addr :9090
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests finish and flush, then the process exits.
+//
+// Client mode (-call) issues requests against a running daemon and
+// reports latency, retries and output size — the smoke-test face of
+// the client library:
+//
+//	agilenetd -call crc32 -addr :7600 -requests 100 -payload 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"agilefpga"
+	"agilefpga/internal/cluster"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7600", "TCP address to serve (or call against)")
+	cards := flag.Int("cards", 2, "number of cards in the cluster")
+	mode := flag.String("mode", cluster.ModeAffinity, "dispatch mode: replicate|partition|affinity")
+	rows := flag.Int("rows", 32, "fabric rows per card")
+	cols := flag.Int("cols", 40, "fabric columns per card")
+	codec := flag.String("codec", "framediff", "bitstream codec")
+	policy := flag.String("policy", "lru", "replacement policy")
+	prefetch := flag.Bool("prefetch", false, "configuration prefetching")
+	diff := flag.Bool("diff", false, "difference-based reconfiguration")
+	queue := flag.Int("queue", cluster.DefaultQueue, "per-card submission queue bound")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight, "admitted requests across all connections")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address, e.g. :9090")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+
+	call := flag.String("call", "", "client mode: function name to call against -addr")
+	requests := flag.Int("requests", 10, "client mode: number of requests")
+	payload := flag.Int("payload", 64, "client mode: payload bytes per request")
+	timeout := flag.Duration("timeout", 5*time.Second, "client mode: per-request deadline")
+	flag.Parse()
+
+	if *call != "" {
+		runClient(*addr, *call, *requests, *payload, *timeout)
+		return
+	}
+
+	reg := metrics.NewRegistry()
+	cl, err := cluster.NewWithOptions(*cards, *mode, core.Config{
+		Geometry:   fpga.Geometry{Rows: *rows, Cols: *cols},
+		Codec:      *codec,
+		Policy:     *policy,
+		Prefetch:   *prefetch,
+		DiffReload: *diff,
+		Metrics:    reg,
+	}, cluster.Options{Queue: *queue})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(cl, server.Options{MaxInflight: *maxInflight, Metrics: reg})
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if _, err := reg.WriteTo(w); err != nil {
+				log.Printf("agilenetd: /metrics: %v", err)
+			}
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("agilenetd: metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", mln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("serving %d cards (%s mode) on %s, max %d in flight",
+		*cards, *mode, ln.Addr(), *maxInflight)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: draining (up to %v)...", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		<-serveErr
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		metricsSrv.Shutdown(ctx)
+	}
+	cl.Close()
+	log.Printf("drained; bye")
+}
+
+// runClient is the -call mode: a burst of requests through the public
+// client API, with retries on overload.
+func runClient(addr, fn string, requests, payload int, timeout time.Duration) {
+	c, err := agilefpga.Dial(addr, agilefpga.DialOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	in := make([]byte, payload)
+	for i := range in {
+		in[i] = byte(i)
+	}
+	start := time.Now()
+	var bytesOut int
+	cardSeen := make(map[int]int)
+	for i := 0; i < requests; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		out, card, err := c.Call(ctx, fn, in)
+		cancel()
+		if err != nil {
+			log.Fatalf("request %d: %v", i, err)
+		}
+		if len(out) == 0 {
+			log.Fatalf("request %d: empty output", i)
+		}
+		bytesOut += len(out)
+		cardSeen[card]++
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d × %s ok: %d B in/req, %d B out total, %.1f req/s, cards %v\n",
+		requests, fn, payload, bytesOut,
+		float64(requests)/elapsed.Seconds(), cardSeen)
+}

@@ -16,12 +16,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"agilefpga/internal/algos"
 	"agilefpga/internal/core"
@@ -53,6 +57,7 @@ func main() {
 
 	var reg *metrics.Registry
 	var metricsLn net.Listener
+	var metricsSrv *http.Server
 	if *metricsAddr != "" {
 		reg = metrics.NewRegistry()
 		var err error
@@ -70,8 +75,9 @@ func main() {
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		metricsSrv = &http.Server{Handler: mux}
 		go func() {
-			if err := http.Serve(metricsLn, mux); err != nil {
+			if err := metricsSrv.Serve(metricsLn); err != nil && err != http.ErrServerClosed {
 				log.Fatal(err)
 			}
 		}()
@@ -226,6 +232,16 @@ func main() {
 				sim.Phase(p), p50, p95, p99, n)
 		}
 		fmt.Printf("\nmetrics live on http://%s/metrics — ctrl-c to exit\n", metricsLn.Addr())
-		select {}
+		// Keep serving until a signal, then shut the endpoint down
+		// gracefully so in-progress scrapes finish and the process
+		// exits cleanly.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		<-sigc
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := metricsSrv.Shutdown(ctx); err != nil {
+			log.Printf("agilesim: metrics shutdown: %v", err)
+		}
 	}
 }

@@ -1,0 +1,275 @@
+// Package client is the network counterpart of internal/server: a
+// pooled, retrying wire-protocol client. Calls borrow a pooled
+// connection (dialling on demand), carry the context deadline to the
+// server as a relative budget, and retry transient failures —
+// RESOURCE_EXHAUSTED, UNAVAILABLE, and transport errors — with
+// jittered exponential backoff until the context or the retry budget
+// runs out. Requests are pure functions of their payload, so retrying
+// after an ambiguous transport failure is safe.
+package client
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agilefpga/internal/wire"
+)
+
+// Defaults for Options.
+const (
+	DefaultPoolSize    = 4
+	DefaultDialTimeout = 5 * time.Second
+	DefaultMaxRetries  = 4
+	DefaultBaseBackoff = 5 * time.Millisecond
+	DefaultMaxBackoff  = 500 * time.Millisecond
+)
+
+// Options tunes the client. The zero value of every field selects a
+// default; MaxRetries < 0 disables retries.
+type Options struct {
+	// PoolSize bounds idle pooled connections (default 4). More
+	// concurrent calls than pool slots dial extra connections that are
+	// closed instead of pooled when they come back idle.
+	PoolSize int
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// MaxRetries is the number of retries after the first attempt
+	// (default 4; negative = no retries).
+	MaxRetries int
+	// BaseBackoff is the first retry's nominal delay (default 5ms);
+	// each further retry doubles it, capped at MaxBackoff (default
+	// 500ms). The actual delay is uniformly jittered in [d/2, d) so
+	// synchronised clients desynchronise.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OnRetry, if set, observes each retry decision (attempt counts
+	// from 0) — used by tests and metrics wiring.
+	OnRetry func(attempt int, err error)
+}
+
+// StatusError is a non-OK wire status answered by the server.
+type StatusError struct {
+	Status wire.Status
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server answered %s: %s", e.Status, e.Msg)
+}
+
+// Retryable reports whether the status is transient.
+func (e *StatusError) Retryable() bool { return e.Status.Retryable() }
+
+// TransportError is a connection-level failure (dial, write, read, or a
+// response that broke the framing). Always retryable: the protocol is
+// idempotent.
+type TransportError struct {
+	Err error
+}
+
+func (e *TransportError) Error() string { return "transport: " + e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// retryable classifies an attempt error.
+func retryable(err error) bool {
+	switch e := err.(type) {
+	case *StatusError:
+		return e.Retryable()
+	case *TransportError:
+		return true
+	}
+	return false
+}
+
+// Client is a pooled connection to one server. Safe for concurrent use.
+type Client struct {
+	addr   string
+	opts   Options
+	idle   chan net.Conn
+	nextID atomic.Uint64
+	rng    *rand.Rand
+	rngMu  sync.Mutex
+	closed atomic.Bool
+}
+
+// Dial validates the address by establishing (and pooling) one
+// connection, and returns the client.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = DefaultPoolSize
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = DefaultDialTimeout
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = DefaultBaseBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultMaxBackoff
+	}
+	c := &Client{
+		addr: addr,
+		opts: opts,
+		idle: make(chan net.Conn, opts.PoolSize),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.put(conn)
+	return c, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, &TransportError{err}
+	}
+	return conn, nil
+}
+
+// get borrows an idle connection or dials a fresh one.
+func (c *Client) get() (net.Conn, error) {
+	select {
+	case conn := <-c.idle:
+		return conn, nil
+	default:
+		return c.dial()
+	}
+}
+
+// put returns a connection to the pool, closing it if the pool is full
+// or the client closed.
+func (c *Client) put(conn net.Conn) {
+	if c.closed.Load() {
+		conn.Close()
+		return
+	}
+	select {
+	case c.idle <- conn:
+	default:
+		conn.Close()
+	}
+}
+
+// Call runs function fn over payload on the server, returning the
+// output and the serving card. The context deadline bounds the whole
+// call including retries and is forwarded to the server as the
+// request's remaining budget. Non-OK statuses surface as *StatusError;
+// connection failures as *TransportError (after retries are spent).
+func (c *Client) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, int, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, -1, err
+		}
+		out, card, err := c.once(ctx, fn, payload)
+		if err == nil {
+			return out, card, nil
+		}
+		if !retryable(err) || attempt >= c.opts.MaxRetries {
+			return nil, card, err
+		}
+		if c.opts.OnRetry != nil {
+			c.opts.OnRetry(attempt, err)
+		}
+		if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
+			return nil, card, err
+		}
+	}
+}
+
+// once is a single attempt over a single connection.
+func (c *Client) once(ctx context.Context, fn uint16, payload []byte) ([]byte, int, error) {
+	conn, err := c.get()
+	if err != nil {
+		return nil, -1, err
+	}
+	healthy := false
+	defer func() {
+		if healthy {
+			c.put(conn)
+		} else {
+			conn.Close()
+		}
+	}()
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			return nil, -1, context.DeadlineExceeded
+		}
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	id := c.nextID.Add(1)
+	req := &wire.Request{ID: id, Fn: fn, Deadline: budget, Payload: payload}
+	if err := wire.WriteRequest(conn, req); err != nil {
+		return nil, -1, &TransportError{err}
+	}
+	resp, err := wire.ReadResponse(conn)
+	if err != nil {
+		return nil, -1, &TransportError{err}
+	}
+	if resp.ID != id {
+		// The stream answered some other request — framing trust is
+		// gone, drop the connection.
+		return nil, -1, &TransportError{fmt.Errorf("response id %d for request %d", resp.ID, id)}
+	}
+	if resp.Status != wire.StatusOK {
+		healthy = true // protocol intact; only the request failed
+		return nil, int(resp.Card), &StatusError{Status: resp.Status, Msg: string(resp.Payload)}
+	}
+	healthy = true
+	return resp.Payload, int(resp.Card), nil
+}
+
+// backoff computes the jittered delay before retry number attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BaseBackoff << uint(attempt)
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Close closes pooled connections. In-flight calls on borrowed
+// connections finish; their connections are closed on return.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for {
+		select {
+		case conn := <-c.idle:
+			conn.Close()
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"agilefpga/internal/wire"
+)
+
+func testClient() *Client {
+	c := &Client{opts: Options{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}}
+	c.rng = rand.New(rand.NewSource(1))
+	return c
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	c := testClient()
+	prevMax := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		// Nominal delay for this attempt: base << attempt, capped.
+		nominal := c.opts.BaseBackoff << uint(attempt)
+		if nominal <= 0 || nominal > c.opts.MaxBackoff {
+			nominal = c.opts.MaxBackoff
+		}
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt)
+			if d < nominal/2 || d > nominal {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, nominal/2, nominal)
+			}
+		}
+		if nominal < prevMax {
+			t.Fatalf("attempt %d: nominal shrank", attempt)
+		}
+		prevMax = nominal
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&StatusError{Status: wire.StatusResourceExhausted}, true},
+		{&StatusError{Status: wire.StatusUnavailable}, true},
+		{&StatusError{Status: wire.StatusInternal}, false},
+		{&StatusError{Status: wire.StatusNotFound}, false},
+		{&TransportError{errors.New("conn reset")}, true},
+		{errors.New("anything else"), false},
+	}
+	for i, tc := range cases {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("case %d (%v): retryable = %v, want %v", i, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestStatusErrorMessage(t *testing.T) {
+	e := &StatusError{Status: wire.StatusResourceExhausted, Msg: "server at capacity"}
+	if e.Error() != "server answered resource_exhausted: server at capacity" {
+		t.Fatalf("message = %q", e.Error())
+	}
+	var te *TransportError
+	wrapped := &TransportError{errors.New("boom")}
+	if !errors.As(error(wrapped), &te) || errors.Unwrap(wrapped).Error() != "boom" {
+		t.Fatal("transport error does not unwrap")
+	}
+}
+
+func TestDialFailureIsTransport(t *testing.T) {
+	// A port nothing listens on: dial must fail with a retryable
+	// transport error, not hang.
+	_, err := Dial("127.0.0.1:1", Options{DialTimeout: 200 * time.Millisecond})
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TransportError", err)
+	}
+	if !retryable(err) {
+		t.Fatal("dial failures must be retryable")
+	}
+}

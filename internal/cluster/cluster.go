@@ -27,6 +27,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -90,12 +91,17 @@ type Cluster struct {
 	load []int
 
 	// Async serving layer: one bounded queue and one worker per card,
-	// started on first Submit.
+	// started on first Submit. stopMu orders submissions against Close:
+	// enqueues happen under the read lock, Close flips stopped under the
+	// write lock before closing the queues, so a late Submit observes
+	// stopped instead of sending on a closed channel.
 	opts      Options
 	queues    []chan *Pending
 	wg        sync.WaitGroup
 	startOnce sync.Once
 	closeOnce sync.Once
+	stopMu    sync.RWMutex
+	stopped   bool
 
 	// metrics is the shared telemetry registry every card records into
 	// (nil when core.Config.Metrics was nil); cardLabels caches the
@@ -249,8 +255,19 @@ func (cl *Cluster) Affinity(fn uint16) int {
 	return -1
 }
 
-// ErrUnknownFunction reports a request for a function no card carries.
-var ErrUnknownFunction = errors.New("cluster: function not provisioned on any card")
+// Sentinel errors. Callers that must translate dispatcher failures into
+// another vocabulary (for example the wire status codes of
+// internal/server) match these with errors.Is.
+var (
+	// ErrUnknownFunction reports a request for a function no card carries.
+	ErrUnknownFunction = errors.New("cluster: function not provisioned on any card")
+	// ErrQueueFull reports a non-blocking submission that found the routed
+	// card's bounded queue full — the overload signal admission control
+	// maps to RESOURCE_EXHAUSTED.
+	ErrQueueFull = errors.New("cluster: card queue full")
+	// ErrStopped reports a submission issued after Close.
+	ErrStopped = errors.New("cluster: dispatcher stopped")
+)
 
 // route picks the card to serve fn, applying the mode's policy.
 func (cl *Cluster) route(fn uint16) (int, error) {
@@ -302,6 +319,7 @@ func (cl *Cluster) Call(fnID uint16, input []byte) (*core.CallResult, int, error
 type Pending struct {
 	fn    uint16
 	input []byte
+	ctx   context.Context
 	done  chan struct{}
 	res   *core.CallResult
 	card  int
@@ -312,6 +330,19 @@ type Pending struct {
 func (p *Pending) Wait() (*core.CallResult, int, error) {
 	<-p.done
 	return p.res, p.card, p.err
+}
+
+// Done is closed when the submission settles. It lets callers multiplex
+// completion against their own deadline without consuming the result.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// expired reports the submission's deadline error, if its context ended
+// before a worker reached it.
+func (p *Pending) expired() error {
+	if p.ctx == nil {
+		return nil
+	}
+	return p.ctx.Err()
 }
 
 func (p *Pending) complete(res *core.CallResult, card int, err error) {
@@ -331,18 +362,57 @@ func Failed(err error) *Pending {
 // Submit enqueues one request on its routed card's bounded queue and
 // returns immediately. Routing errors (unknown function) surface through
 // Wait, so the async API has one error path. Submit blocks only when the
-// target card's queue is full (backpressure). Submit must not be called
-// after (or concurrently with) Close.
+// target card's queue is full (backpressure). A Submit issued after
+// Close fails with ErrStopped.
 func (cl *Cluster) Submit(fnID uint16, input []byte) *Pending {
-	p := &Pending{fn: fnID, input: input, done: make(chan struct{}), card: -1}
+	return cl.SubmitContext(context.Background(), fnID, input, true)
+}
+
+// SubmitContext is Submit with deadline plumbing and an admission
+// choice. The context travels with the job: a worker that dequeues an
+// already-expired job fails it with the context's error instead of
+// spending fabric time on an answer nobody is waiting for. When wait is
+// true a full queue blocks until space, the context ends, or the
+// cluster stops; when wait is false a full queue fails fast with
+// ErrQueueFull so callers doing admission control can shed load
+// explicitly. All failures surface through Wait.
+func (cl *Cluster) SubmitContext(ctx context.Context, fnID uint16, input []byte, wait bool) *Pending {
+	p := &Pending{fn: fnID, input: input, ctx: ctx, done: make(chan struct{}), card: -1}
+	if err := ctx.Err(); err != nil {
+		p.complete(nil, -1, err)
+		return p
+	}
 	card, err := cl.route(fnID)
 	if err != nil {
 		p.complete(nil, -1, err)
 		return p
 	}
-	cl.startOnce.Do(cl.startWorkers)
 	p.card = card
-	cl.queues[card] <- p
+	cl.stopMu.RLock()
+	defer cl.stopMu.RUnlock()
+	if cl.stopped {
+		p.complete(nil, card, ErrStopped)
+		return p
+	}
+	cl.startOnce.Do(cl.startWorkers)
+	if wait {
+		select {
+		case cl.queues[card] <- p:
+		case <-ctx.Done():
+			p.complete(nil, card, ctx.Err())
+			return p
+		}
+	} else {
+		select {
+		case cl.queues[card] <- p:
+		default:
+			if cl.metrics != nil {
+				cl.metrics.Counter("agile_cluster_rejected_total", cl.cardLabels[card]).Inc()
+			}
+			p.complete(nil, card, ErrQueueFull)
+			return p
+		}
+	}
 	if cl.metrics != nil {
 		cl.metrics.Counter("agile_cluster_submitted_total", cl.cardLabels[card]).Inc()
 		cl.metrics.Gauge("agile_cluster_queue_depth", cl.cardLabels[card]).Inc()
@@ -351,10 +421,14 @@ func (cl *Cluster) Submit(fnID uint16, input []byte) *Pending {
 }
 
 // Close shuts the worker goroutines down and waits for queued work to
-// drain. No Submit or Serve may be in flight or issued afterwards.
-// Synchronous Call and Stats remain usable. Close is idempotent.
+// drain. Submissions issued after Close fail with ErrStopped; Serve must
+// not be in flight. Synchronous Call and Stats remain usable. Close is
+// idempotent.
 func (cl *Cluster) Close() {
 	cl.closeOnce.Do(func() {
+		cl.stopMu.Lock()
+		cl.stopped = true
+		cl.stopMu.Unlock()
 		for _, q := range cl.queues {
 			close(q)
 		}
@@ -417,7 +491,25 @@ func (cl *Cluster) worker(card int) {
 }
 
 // serveRun executes a coalesced run of same-function jobs on one card.
+// Jobs whose deadline expired while queued are failed without touching
+// the card: their caller has already given up, so spending fabric time
+// on them only delays the live jobs behind them.
 func (cl *Cluster) serveRun(card int, run []*Pending) {
+	live := run[:0]
+	for _, p := range run {
+		if err := p.expired(); err != nil {
+			if cl.metrics != nil {
+				cl.metrics.Counter("agile_cluster_expired_total", cl.cardLabels[card]).Inc()
+			}
+			p.complete(nil, card, err)
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	run = live
 	cp := cl.cards[card]
 	if cl.metrics != nil {
 		busy := cl.metrics.Gauge("agile_cluster_worker_busy", cl.cardLabels[card])

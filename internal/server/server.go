@@ -1,0 +1,346 @@
+// Package server puts the cluster dispatcher behind a network edge: a
+// TCP server speaking the internal/wire protocol, with admission
+// control in front of the cards so overload turns into an explicit
+// RESOURCE_EXHAUSTED answer instead of unbounded queueing.
+//
+// Admission is two-layered. A server-wide semaphore bounds in-flight
+// requests (Options.MaxInflight); a request that cannot take a slot is
+// refused immediately. An admitted request is then submitted to the
+// cluster without blocking — a full card queue surfaces as
+// cluster.ErrQueueFull and maps to the same refusal status. Both layers
+// reject rather than wait, so a saturated server keeps answering in
+// microseconds and clients decide how to back off (internal/client
+// retries with jittered exponential backoff).
+//
+// Deadlines travel end to end: the wire request carries a relative
+// budget, the server turns it into a context deadline, the cluster
+// worker refuses to execute a job whose context has already expired,
+// and the server answers DEADLINE_EXCEEDED as soon as the budget runs
+// out even if the job is still queued behind slower work.
+//
+// Shutdown drains: the listener closes, new requests on live
+// connections get UNAVAILABLE, in-flight requests finish and flush
+// their responses, then connections close.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"agilefpga/internal/cluster"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/trace"
+	"agilefpga/internal/wire"
+)
+
+// DefaultMaxInflight bounds concurrently admitted requests when
+// Options.MaxInflight is zero.
+const DefaultMaxInflight = 64
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Options tunes the server. The zero value of every field selects a
+// default.
+type Options struct {
+	// MaxInflight bounds admitted requests across all connections
+	// (default DefaultMaxInflight). Excess requests are refused with
+	// StatusResourceExhausted.
+	MaxInflight int
+	// Metrics receives the server series (nil = no recording).
+	Metrics *metrics.Registry
+	// Trace receives one span per request, carrying the request id,
+	// function, status and serving card (nil = no recording).
+	Trace *trace.Log
+}
+
+// Server serves wire-protocol requests by dispatching onto a cluster.
+type Server struct {
+	cl   *cluster.Cluster
+	opts Options
+	sem  chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	inflight sync.WaitGroup // admitted requests
+	connWG   sync.WaitGroup // connection handlers
+
+	// hookAdmitted, when set by tests, runs in the request goroutine
+	// after admission and before dispatch — the deterministic way to
+	// hold the semaphore and observe saturation.
+	hookAdmitted func(*wire.Request)
+}
+
+// New builds a server over cl. The cluster stays owned by the caller
+// (Shutdown does not close it), so one cluster can outlive many
+// listeners.
+func New(cl *cluster.Cluster, opts Options) *Server {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	return &Server{
+		cl:    cl,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxInflight),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown or Close, then
+// returns ErrServerClosed. One server serves at most one listener.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		return errors.New("server: Serve called twice")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		if s.opts.Metrics != nil {
+			s.opts.Metrics.Counter("agile_server_accepted_total").Inc()
+			s.opts.Metrics.Gauge("agile_server_connections").Inc()
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn reads frames off one connection. Requests are handled
+// concurrently (a connection may pipeline); responses serialise through
+// one write lock. A protocol error poisons the stream — framing is lost
+// — so the connection closes.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+		if s.opts.Metrics != nil {
+			s.opts.Metrics.Gauge("agile_server_connections").Dec()
+		}
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	var wmu sync.Mutex
+	write := func(resp *wire.Response) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := wire.WriteResponse(bw, resp); err != nil {
+			return
+		}
+		bw.Flush()
+	}
+	for {
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			if s.opts.Metrics != nil && !errors.Is(err, net.ErrClosed) {
+				s.opts.Metrics.Counter("agile_server_decode_errors_total").Inc()
+			}
+			return
+		}
+		s.handleRequest(req, write)
+	}
+}
+
+// handleRequest admits one request and, if admitted, dispatches it in
+// its own goroutine. The draining check, semaphore acquisition and
+// in-flight registration happen atomically under mu so Shutdown's
+// drain wait cannot race a late admission.
+func (s *Server) handleRequest(req *wire.Request, write func(*wire.Response)) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.refuse(req, write, wire.StatusUnavailable, "server draining")
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.mu.Unlock()
+		s.refuse(req, write, wire.StatusResourceExhausted,
+			fmt.Sprintf("server at capacity (%d in flight)", cap(s.sem)))
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.Gauge("agile_server_inflight").Inc()
+	}
+	go func() {
+		defer func() {
+			<-s.sem
+			s.inflight.Done()
+			if s.opts.Metrics != nil {
+				s.opts.Metrics.Gauge("agile_server_inflight").Dec()
+			}
+		}()
+		// The request's budget starts at admission, so time spent in
+		// dispatch counts against the deadline the client asked for.
+		ctx := context.Background()
+		if req.Deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+			defer cancel()
+		}
+		if s.hookAdmitted != nil {
+			s.hookAdmitted(req)
+		}
+		start := time.Now()
+		status, card, payload := s.execute(ctx, req)
+		write(&wire.Response{ID: req.ID, Status: status, Card: card, Payload: payload})
+		s.observe(req, status, card, time.Since(start))
+	}()
+}
+
+// refuse answers a request that was never admitted.
+func (s *Server) refuse(req *wire.Request, write func(*wire.Response), st wire.Status, msg string) {
+	write(&wire.Response{ID: req.ID, Status: st, Card: -1, Payload: []byte(msg)})
+	s.observe(req, st, -1, 0)
+}
+
+// execute runs one admitted request on the cluster, mapping dispatcher
+// errors to wire statuses. ctx carries the request's deadline.
+func (s *Server) execute(ctx context.Context, req *wire.Request) (wire.Status, int16, []byte) {
+	if len(req.Payload) == 0 {
+		return wire.StatusInvalidArgument, -1, []byte("empty payload")
+	}
+	p := s.cl.SubmitContext(ctx, req.Fn, req.Payload, false)
+	select {
+	case <-p.Done():
+	case <-ctx.Done():
+		// The budget ran out while the job sat in a card queue. Answer
+		// now; the worker will discard the expired job when it reaches
+		// it.
+		return wire.StatusDeadlineExceeded, -1, []byte(ctx.Err().Error())
+	}
+	res, card, err := p.Wait()
+	if err != nil {
+		return statusOf(err), int16(card), []byte(err.Error())
+	}
+	return wire.StatusOK, int16(card), res.Output
+}
+
+// statusOf maps dispatcher and context errors onto the wire vocabulary.
+func statusOf(err error) wire.Status {
+	switch {
+	case errors.Is(err, cluster.ErrUnknownFunction):
+		return wire.StatusNotFound
+	case errors.Is(err, cluster.ErrQueueFull):
+		return wire.StatusResourceExhausted
+	case errors.Is(err, cluster.ErrStopped):
+		return wire.StatusUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.StatusDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return wire.StatusUnavailable
+	default:
+		return wire.StatusInternal
+	}
+}
+
+// observe records one finished (or refused) request into the metrics
+// and trace sinks. Server latency is wall-clock — the network edge has
+// no virtual clock — stored in the same picosecond unit the virtual
+// histograms use.
+func (s *Server) observe(req *wire.Request, st wire.Status, card int16, elapsed time.Duration) {
+	if s.opts.Metrics != nil {
+		lbl := metrics.L("status", st.String())
+		s.opts.Metrics.Counter("agile_server_requests_total", lbl).Inc()
+		if elapsed > 0 {
+			s.opts.Metrics.Histogram("agile_server_request_seconds", lbl).
+				Observe(sim.Time(elapsed.Nanoseconds()) * sim.Nanosecond)
+		}
+	}
+	s.opts.Trace.Record(trace.Event{
+		Kind:   trace.KindSpan,
+		Fn:     req.Fn,
+		Card:   int(card),
+		Detail: fmt.Sprintf("rpc req=%d status=%s", req.ID, st),
+		DurPS:  uint64(elapsed.Nanoseconds()) * 1000,
+	})
+}
+
+// Shutdown gracefully drains the server: the listener closes, new
+// requests are refused with UNAVAILABLE, admitted requests finish and
+// flush their responses, then connections close. It returns ctx.Err()
+// if the drain outlives ctx (connections are then closed abruptly).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.closeConns()
+	if err == nil {
+		s.connWG.Wait()
+	}
+	return err
+}
+
+// Close shuts the server down without waiting for in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.closeConns()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeRequest drives the request decoder with arbitrary bytes.
+// Two invariants must hold for every input: the decoder never panics,
+// and any frame it accepts re-encodes to exactly the bytes it consumed
+// (the encoding is canonical, so decode ∘ encode is the identity on
+// valid frames).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(AppendRequest(nil, &Request{ID: 1, Fn: 7, Deadline: time.Second, Payload: []byte("seed")}))
+	f.Add(AppendRequest(nil, &Request{ID: 0, Fn: 0, Payload: []byte{}}))
+	f.Add(AppendRequest(nil, &Request{ID: 1<<64 - 1, Fn: 1<<16 - 1, Deadline: time.Hour,
+		Payload: bytes.Repeat([]byte{0x5A}, 300)}))
+	// Hostile shapes: truncated, bad magic, huge length prefix,
+	// mismatched inner length, response frame fed to the request
+	// decoder.
+	valid := AppendRequest(nil, &Request{ID: 9, Fn: 2, Payload: []byte("abc")})
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 26, 0xA6, 0x1E, 1, 2})
+	f.Add(AppendResponse(nil, &Response{ID: 9, Status: StatusOK, Card: 1, Payload: []byte("abc")}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, n, err := DecodeRequest(data)
+		if err != nil {
+			if req != nil || n != 0 {
+				t.Fatalf("failed decode leaked state: req=%v n=%d", req, n)
+			}
+			return
+		}
+		if n < lenPrefix+requestHeaderLen || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if len(req.Payload) > MaxPayload {
+			t.Fatalf("accepted payload of %d bytes", len(req.Payload))
+		}
+		if req.Deadline < 0 {
+			t.Fatalf("accepted negative deadline %v", req.Deadline)
+		}
+		reenc := AppendRequest(nil, req)
+		if !bytes.Equal(reenc, data[:n]) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data[:n], reenc)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+// Package wire defines the co-processor's network framing: a
+// length-prefixed binary protocol carrying versioned request and
+// response frames over any byte stream (agilenetd speaks it over TCP).
+//
+// Every frame is
+//
+//	uint32  frame length (bytes that follow, big-endian)
+//	uint16  magic 0xA61E
+//	uint8   protocol version (1)
+//	uint8   frame type (1 = request, 2 = response)
+//	...     type-specific header
+//	[]byte  payload
+//
+// A request header carries the request id (client-chosen, echoed back),
+// the function id, a relative deadline in nanoseconds (0 = none — sent
+// relative rather than absolute so client and server clocks never need
+// agreement), and an explicit payload length that must agree with the
+// frame length, giving decoders a cheap consistency cross-check. A
+// response header carries the echoed id, a status code, the serving
+// card (-1 when no card was reached), and the payload length; the
+// payload is the function output on StatusOK and a human-readable
+// diagnostic otherwise.
+//
+// Decoding is strict: bad magic, unknown version, wrong frame type,
+// oversized frames and length mismatches are each rejected with a
+// distinct sentinel error, and a successful decode re-encodes to the
+// identical bytes (the canonical-form property the fuzz target checks).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Framing constants.
+const (
+	Magic   = 0xA61E
+	Version = 1
+
+	TypeRequest  = 1
+	TypeResponse = 2
+
+	// MaxPayload bounds a frame's payload; anything larger is rejected
+	// before allocation, so a hostile length prefix cannot balloon
+	// memory.
+	MaxPayload = 16 << 20
+
+	// lenPrefix is the length-prefix size; the header sizes count the
+	// bytes between the prefix and the payload.
+	lenPrefix         = 4
+	requestHeaderLen  = 2 + 1 + 1 + 8 + 2 + 8 + 4 // magic ver type id fn deadline paylen
+	responseHeaderLen = 2 + 1 + 1 + 8 + 1 + 2 + 4 // magic ver type id status card paylen
+)
+
+// Decode errors.
+var (
+	ErrTruncated      = errors.New("wire: truncated frame")
+	ErrOversized      = errors.New("wire: frame exceeds MaxPayload")
+	ErrBadMagic       = errors.New("wire: bad magic")
+	ErrBadVersion     = errors.New("wire: unsupported version")
+	ErrBadType        = errors.New("wire: unexpected frame type")
+	ErrLengthMismatch = errors.New("wire: frame/payload length mismatch")
+	ErrBadDeadline    = errors.New("wire: deadline overflows int64 nanoseconds")
+)
+
+// Status codes a response can carry.
+type Status uint8
+
+const (
+	StatusOK                Status = 0
+	StatusInvalidArgument   Status = 1
+	StatusNotFound          Status = 2
+	StatusResourceExhausted Status = 3
+	StatusDeadlineExceeded  Status = 4
+	StatusUnavailable       Status = 5
+	StatusInternal          Status = 6
+)
+
+// String names the status for logs and metrics labels.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusInvalidArgument:
+		return "invalid_argument"
+	case StatusNotFound:
+		return "not_found"
+	case StatusResourceExhausted:
+		return "resource_exhausted"
+	case StatusDeadlineExceeded:
+		return "deadline_exceeded"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("status_%d", uint8(s))
+	}
+}
+
+// Retryable reports whether a client may safely retry after this
+// status: overload (RESOURCE_EXHAUSTED) and draining (UNAVAILABLE) are
+// transient by construction; everything else would fail identically.
+func (s Status) Retryable() bool {
+	return s == StatusResourceExhausted || s == StatusUnavailable
+}
+
+// Request is one call: run function Fn over Payload, answering under
+// Deadline (a relative budget; 0 = no deadline). ID is chosen by the
+// client and echoed in the response so a connection can pipeline.
+type Request struct {
+	ID       uint64
+	Fn       uint16
+	Deadline time.Duration
+	Payload  []byte
+}
+
+// Response answers one request. Card is the serving card index, -1 when
+// the request never reached a card. Payload holds the function output
+// on StatusOK and a diagnostic message otherwise.
+type Response struct {
+	ID      uint64
+	Status  Status
+	Card    int16
+	Payload []byte
+}
+
+// AppendRequest appends req's canonical encoding to dst.
+func AppendRequest(dst []byte, req *Request) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(requestHeaderLen+len(req.Payload)))
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, TypeRequest)
+	dst = binary.BigEndian.AppendUint64(dst, req.ID)
+	dst = binary.BigEndian.AppendUint16(dst, req.Fn)
+	dl := req.Deadline
+	if dl < 0 {
+		dl = 0
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(dl.Nanoseconds()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Payload)))
+	return append(dst, req.Payload...)
+}
+
+// AppendResponse appends resp's canonical encoding to dst.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(responseHeaderLen+len(resp.Payload)))
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, TypeResponse)
+	dst = binary.BigEndian.AppendUint64(dst, resp.ID)
+	dst = append(dst, byte(resp.Status))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(resp.Card))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Payload)))
+	return append(dst, resp.Payload...)
+}
+
+// checkFrame validates the length prefix and the common header shared
+// by both frame types, returning the frame body (everything after the
+// prefix).
+func checkFrame(b []byte, wantType byte, headerLen int) ([]byte, error) {
+	if len(b) < lenPrefix {
+		return nil, ErrTruncated
+	}
+	frameLen := int(binary.BigEndian.Uint32(b))
+	if frameLen > headerLen+MaxPayload {
+		return nil, ErrOversized
+	}
+	if frameLen < headerLen || len(b)-lenPrefix < frameLen {
+		return nil, ErrTruncated
+	}
+	body := b[lenPrefix : lenPrefix+frameLen]
+	if binary.BigEndian.Uint16(body) != Magic {
+		return nil, ErrBadMagic
+	}
+	if body[2] != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, body[2], Version)
+	}
+	if body[3] != wantType {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadType, body[3], wantType)
+	}
+	return body, nil
+}
+
+// DecodeRequest decodes one request frame from the front of b,
+// returning the bytes consumed. An incomplete buffer yields
+// ErrTruncated, so stream decoders can read more and retry.
+func DecodeRequest(b []byte) (*Request, int, error) {
+	body, err := checkFrame(b, TypeRequest, requestHeaderLen)
+	if err != nil {
+		return nil, 0, err
+	}
+	payLen := int(binary.BigEndian.Uint32(body[22:26]))
+	if payLen != len(body)-requestHeaderLen {
+		return nil, 0, fmt.Errorf("%w: header says %d, frame carries %d",
+			ErrLengthMismatch, payLen, len(body)-requestHeaderLen)
+	}
+	dlNs := binary.BigEndian.Uint64(body[14:22])
+	if dlNs > math.MaxInt64 {
+		return nil, 0, ErrBadDeadline
+	}
+	req := &Request{
+		ID:       binary.BigEndian.Uint64(body[4:12]),
+		Fn:       binary.BigEndian.Uint16(body[12:14]),
+		Deadline: time.Duration(dlNs),
+		Payload:  append([]byte(nil), body[requestHeaderLen:]...),
+	}
+	return req, lenPrefix + len(body), nil
+}
+
+// DecodeResponse decodes one response frame from the front of b,
+// returning the bytes consumed.
+func DecodeResponse(b []byte) (*Response, int, error) {
+	body, err := checkFrame(b, TypeResponse, responseHeaderLen)
+	if err != nil {
+		return nil, 0, err
+	}
+	payLen := int(binary.BigEndian.Uint32(body[15:19]))
+	if payLen != len(body)-responseHeaderLen {
+		return nil, 0, fmt.Errorf("%w: header says %d, frame carries %d",
+			ErrLengthMismatch, payLen, len(body)-responseHeaderLen)
+	}
+	resp := &Response{
+		ID:      binary.BigEndian.Uint64(body[4:12]),
+		Status:  Status(body[12]),
+		Card:    int16(binary.BigEndian.Uint16(body[13:15])),
+		Payload: append([]byte(nil), body[responseHeaderLen:]...),
+	}
+	return resp, lenPrefix + len(body), nil
+}
+
+// WriteRequest writes req to w as a single Write call, so a net.Conn
+// needs no extra buffering to avoid torn frames.
+func WriteRequest(w io.Writer, req *Request) error {
+	if len(req.Payload) > MaxPayload {
+		return ErrOversized
+	}
+	_, err := w.Write(AppendRequest(make([]byte, 0, lenPrefix+requestHeaderLen+len(req.Payload)), req))
+	return err
+}
+
+// WriteResponse writes resp to w as a single Write call.
+func WriteResponse(w io.Writer, resp *Response) error {
+	if len(resp.Payload) > MaxPayload {
+		return ErrOversized
+	}
+	_, err := w.Write(AppendResponse(make([]byte, 0, lenPrefix+responseHeaderLen+len(resp.Payload)), resp))
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r. The length prefix
+// is bounds-checked before the body allocation.
+func readFrame(r io.Reader, headerLen int) ([]byte, error) {
+	var prefix [lenPrefix]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err // io.EOF at a frame boundary = clean close
+	}
+	frameLen := int(binary.BigEndian.Uint32(prefix[:]))
+	if frameLen > headerLen+MaxPayload {
+		return nil, ErrOversized
+	}
+	if frameLen < headerLen {
+		return nil, ErrTruncated
+	}
+	buf := make([]byte, lenPrefix+frameLen)
+	copy(buf, prefix[:])
+	if _, err := io.ReadFull(r, buf[lenPrefix:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadRequest reads and decodes one request frame from r. A clean
+// close at a frame boundary returns io.EOF; a close mid-frame returns
+// ErrTruncated.
+func ReadRequest(r io.Reader) (*Request, error) {
+	buf, err := readFrame(r, requestHeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	req, _, err := DecodeRequest(buf)
+	return req, err
+}
+
+// ReadResponse reads and decodes one response frame from r.
+func ReadResponse(r io.Reader) (*Response, error) {
+	buf, err := readFrame(r, responseHeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	resp, _, err := DecodeResponse(buf)
+	return resp, err
+}

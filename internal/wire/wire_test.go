@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []*Request{
+		{ID: 1, Fn: 7, Deadline: 250 * time.Millisecond, Payload: []byte("hello fabric")},
+		{ID: 0, Fn: 0, Deadline: 0, Payload: []byte{0}},
+		{ID: 1<<64 - 1, Fn: 1<<16 - 1, Deadline: time.Hour, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{ID: 42, Fn: 3, Payload: []byte{}},
+	}
+	for i, req := range cases {
+		b := AppendRequest(nil, req)
+		got, n, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(b) {
+			t.Fatalf("case %d: consumed %d of %d", i, n, len(b))
+		}
+		if got.ID != req.ID || got.Fn != req.Fn || got.Deadline != req.Deadline ||
+			!bytes.Equal(got.Payload, req.Payload) {
+			t.Fatalf("case %d: round trip mismatch: %+v vs %+v", i, got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []*Response{
+		{ID: 9, Status: StatusOK, Card: 3, Payload: []byte("output")},
+		{ID: 10, Status: StatusResourceExhausted, Card: -1, Payload: []byte("server at capacity")},
+		{ID: 11, Status: StatusInternal, Card: 0, Payload: nil},
+	}
+	for i, resp := range cases {
+		b := AppendResponse(nil, resp)
+		got, n, err := DecodeResponse(b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(b) {
+			t.Fatalf("case %d: consumed %d of %d", i, n, len(b))
+		}
+		if got.ID != resp.ID || got.Status != resp.Status || got.Card != resp.Card ||
+			!bytes.Equal(got.Payload, resp.Payload) {
+			t.Fatalf("case %d: round trip mismatch: %+v vs %+v", i, got, resp)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reqs := []*Request{
+		{ID: 1, Fn: 2, Payload: []byte("a")},
+		{ID: 2, Fn: 2, Deadline: time.Second, Payload: []byte("bb")},
+		{ID: 3, Fn: 5, Payload: []byte("ccc")},
+	}
+	for _, r := range reqs {
+		if err := WriteRequest(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range reqs {
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("stream mismatch: %+v vs %+v", got, want)
+		}
+	}
+	if _, err := ReadRequest(&buf); err != io.EOF {
+		t.Fatalf("empty stream err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := AppendRequest(nil, &Request{ID: 5, Fn: 1, Payload: []byte("payload")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeRequest(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	// Mid-frame stream close is distinguished from a clean close.
+	if _, err := ReadRequest(bytes.NewReader(full[:len(full)-2])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("stream cut err should be ErrTruncated")
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	b := AppendRequest(nil, &Request{ID: 5, Fn: 1, Payload: []byte("x")})
+	b[4] ^= 0xFF // first magic byte lives just past the length prefix
+	if _, _, err := DecodeRequest(b); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	b := AppendRequest(nil, &Request{ID: 5, Fn: 1, Payload: []byte("x")})
+	b[6] = 99
+	if _, _, err := DecodeRequest(b); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	req := AppendRequest(nil, &Request{ID: 5, Fn: 1, Payload: []byte("x")})
+	if _, _, err := DecodeResponse(req); !errors.Is(err, ErrBadType) {
+		t.Fatalf("response decoder took a request frame: %v", err)
+	}
+	// Payload long enough that the response frame passes the request
+	// decoder's minimum-length gate and reaches the type check.
+	resp := AppendResponse(nil, &Response{ID: 5, Status: StatusOK, Card: 0, Payload: []byte("xxxxxxxx")})
+	if _, _, err := DecodeRequest(resp); !errors.Is(err, ErrBadType) {
+		t.Fatalf("request decoder took a response frame: %v", err)
+	}
+}
+
+func TestDecodeOversized(t *testing.T) {
+	b := AppendRequest(nil, &Request{ID: 5, Fn: 1, Payload: []byte("x")})
+	binary.BigEndian.PutUint32(b, uint32(requestHeaderLen+MaxPayload+1))
+	if _, _, err := DecodeRequest(b); !errors.Is(err, ErrOversized) {
+		t.Fatalf("err = %v, want ErrOversized", err)
+	}
+	// The stream reader must reject the length prefix before allocating.
+	if _, err := ReadRequest(bytes.NewReader(b)); !errors.Is(err, ErrOversized) {
+		t.Fatalf("stream err = %v, want ErrOversized", err)
+	}
+	if err := WriteRequest(io.Discard, &Request{ID: 1, Fn: 1, Payload: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrOversized) {
+		t.Fatalf("write err = %v, want ErrOversized", err)
+	}
+}
+
+func TestDecodeLengthMismatch(t *testing.T) {
+	b := AppendRequest(nil, &Request{ID: 5, Fn: 1, Payload: []byte("abcd")})
+	// Shrink the inner payload-length field so it disagrees with the
+	// frame length.
+	binary.BigEndian.PutUint32(b[lenPrefix+22:], 2)
+	if _, _, err := DecodeRequest(b); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestDecodeBadDeadline(t *testing.T) {
+	b := AppendRequest(nil, &Request{ID: 5, Fn: 1, Payload: []byte("x")})
+	binary.BigEndian.PutUint64(b[lenPrefix+14:], 1<<63)
+	if _, _, err := DecodeRequest(b); !errors.Is(err, ErrBadDeadline) {
+		t.Fatalf("err = %v, want ErrBadDeadline", err)
+	}
+}
+
+func TestDecodeTrailingBytesLeftAlone(t *testing.T) {
+	one := AppendRequest(nil, &Request{ID: 1, Fn: 1, Payload: []byte("x")})
+	two := AppendRequest(append([]byte(nil), one...), &Request{ID: 2, Fn: 1, Payload: []byte("y")})
+	req, n, err := DecodeRequest(two)
+	if err != nil || req.ID != 1 {
+		t.Fatalf("first decode: %v %+v", err, req)
+	}
+	req, _, err = DecodeRequest(two[n:])
+	if err != nil || req.ID != 2 {
+		t.Fatalf("second decode: %v %+v", err, req)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s := StatusOK; s <= StatusInternal; s++ {
+		if s.String() == "" {
+			t.Fatalf("status %d has no name", s)
+		}
+	}
+	if Status(200).String() != "status_200" {
+		t.Fatal("unknown status not labelled numerically")
+	}
+	if !StatusResourceExhausted.Retryable() || !StatusUnavailable.Retryable() {
+		t.Fatal("overload statuses must be retryable")
+	}
+	if StatusOK.Retryable() || StatusInternal.Retryable() || StatusInvalidArgument.Retryable() {
+		t.Fatal("non-transient statuses must not be retryable")
+	}
+}

@@ -1,0 +1,130 @@
+package agilefpga
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/client"
+	"agilefpga/internal/server"
+)
+
+// NetOptions tunes a network server (see Serve). The zero value of
+// every field selects a default.
+type NetOptions struct {
+	// MaxInflight bounds concurrently admitted requests across all
+	// connections (default 64). Excess requests are refused with
+	// RESOURCE_EXHAUSTED rather than queued.
+	MaxInflight int
+}
+
+// NetServer is a running network front end over a Cluster (see Serve).
+type NetServer struct {
+	srv  *server.Server
+	addr net.Addr
+	done chan error
+}
+
+// Serve exposes the cluster over TCP on addr (e.g. ":7600";
+// ":0" picks a free port — read it back from Addr). The server speaks
+// the agilenetd wire protocol: length-prefixed binary frames carrying a
+// request id, function id, relative deadline and payload, answered
+// with status-coded responses. Admission control bounds in-flight
+// requests, deadlines propagate into the dispatcher, and overload is
+// answered explicitly so clients can back off.
+//
+// The cluster stays owned by the caller: Shutdown does not close it,
+// and the same cluster may keep serving local calls.
+func Serve(addr string, cl *Cluster, opts NetOptions) (*NetServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(cl.inner, server.Options{
+		MaxInflight: opts.MaxInflight,
+		Metrics:     cl.inner.Metrics(),
+	})
+	ns := &NetServer{srv: srv, addr: ln.Addr(), done: make(chan error, 1)}
+	go func() { ns.done <- srv.Serve(ln) }()
+	return ns, nil
+}
+
+// Addr reports the listening address (useful with ":0").
+func (s *NetServer) Addr() string { return s.addr.String() }
+
+// Shutdown gracefully drains the server: the listener closes, new
+// requests are refused, in-flight requests complete and flush their
+// responses. It returns ctx.Err() if the drain outlives ctx.
+func (s *NetServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// Close shuts the server down without draining.
+func (s *NetServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// DialOptions tunes a network client (see Dial). The zero value of
+// every field selects a default.
+type DialOptions struct {
+	// PoolSize bounds idle pooled connections (default 4).
+	PoolSize int
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// MaxRetries bounds retries after the first attempt (default 4;
+	// negative disables retries). Only transient failures are retried:
+	// RESOURCE_EXHAUSTED, UNAVAILABLE, and transport errors.
+	MaxRetries int
+	// BaseBackoff is the first retry's nominal delay (default 5ms),
+	// doubling per retry up to MaxBackoff (default 500ms), with uniform
+	// jitter in [d/2, d).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// NetClient is a pooled, retrying connection to a NetServer (or
+// agilenetd daemon). Safe for concurrent use.
+type NetClient struct {
+	c *client.Client
+}
+
+// Dial connects to a network server, validating the address with one
+// eager connection.
+func Dial(addr string, opts DialOptions) (*NetClient, error) {
+	c, err := client.Dial(addr, client.Options{
+		PoolSize:    opts.PoolSize,
+		DialTimeout: opts.DialTimeout,
+		MaxRetries:  opts.MaxRetries,
+		BaseBackoff: opts.BaseBackoff,
+		MaxBackoff:  opts.MaxBackoff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &NetClient{c: c}, nil
+}
+
+// Call executes the named bank function remotely, returning the output
+// and the serving card. The context deadline bounds the whole call
+// including retries and travels to the server, which refuses to spend
+// fabric time on an expired request.
+func (c *NetClient) Call(ctx context.Context, name string, input []byte) ([]byte, int, error) {
+	f, err := algos.ByName(name)
+	if err != nil {
+		return nil, -1, err
+	}
+	return c.c.Call(ctx, f.ID(), input)
+}
+
+// CallID is Call by function id, skipping the name lookup.
+func (c *NetClient) CallID(ctx context.Context, fn uint16, input []byte) ([]byte, int, error) {
+	return c.c.Call(ctx, fn, input)
+}
+
+// Close closes pooled connections; in-flight calls finish first.
+func (c *NetClient) Close() error { return c.c.Close() }
