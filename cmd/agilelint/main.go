@@ -1,0 +1,87 @@
+// Command agilelint is the multichecker for this repository's
+// project-specific static-analysis suite (internal/analysis): it
+// machine-checks the simulator's core invariants — virtual-time
+// purity, lock discipline, sentinel-error matching, no blocking
+// channel operations under a mutex, and passive metrics — on every
+// commit.
+//
+// Standalone mode resolves package patterns with the go tool:
+//
+//	agilelint ./...
+//	agilelint -list
+//
+// Diagnostics print as file:line:col: message [analyzer]; the exit
+// status is 1 when any invariant is violated.
+//
+// agilelint also speaks the `go vet -vettool` protocol: invoked by the
+// go command with a *.cfg file it type-checks the unit from the export
+// data the build provided and reports diagnostics on stderr (exit 2),
+// so `go vet -vettool=$(which agilelint) ./...` runs the suite under
+// vet's caching and package discovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"agilefpga/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// `go vet` probes the tool's version for its action cache before
+	// handing it units of work.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			fmt.Printf("agilelint version v1.0.0\n")
+			return
+		}
+		// The go command also asks which analyzer flags the tool exposes
+		// (JSON array); this suite has none.
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+
+	fs := flag.NewFlagSet("agilelint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: agilelint [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the agilefpga invariant suite over the packages (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *list {
+		for _, a := range analysis.All() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-16s %s\n", a.Name, doc)
+		}
+		return
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

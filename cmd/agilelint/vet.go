@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"agilefpga/internal/analysis"
+)
+
+// vetConfig is the unit-of-work description `go vet -vettool` writes
+// for each package: the files to analyse and, crucially, the export
+// data of every import, so the unit type-checks without re-resolving
+// the world. The field set mirrors the x/tools unitchecker contract.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyses one vet unit, returning the process exit code:
+// 0 clean, 2 diagnostics found (the go command treats any nonzero
+// exit as a failed vet step and relays stderr).
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agilelint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "agilelint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// Facts flow between units through vetx files; this suite keeps no
+	// cross-package facts, so the output is an empty marker the go
+	// command can cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("agilelint\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "agilelint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("agilelint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	pkg, err := analysis.LoadFiles(cfg.ImportPath, cfg.GoFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "agilelint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agilelint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

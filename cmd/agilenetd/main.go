@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -101,7 +102,7 @@ func main() {
 		})
 		metricsSrv = &http.Server{Handler: mux}
 		go func() {
-			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+			if err := metricsSrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("agilenetd: metrics server: %v", err)
 			}
 		}()
@@ -148,7 +149,7 @@ func runClient(addr, fn string, requests, payload int, timeout time.Duration) {
 	for i := range in {
 		in[i] = byte(i)
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock client-mode smoke test measures real request latency
 	var bytesOut int
 	cardSeen := make(map[int]int)
 	for i := 0; i < requests; i++ {
@@ -164,7 +165,7 @@ func runClient(addr, fn string, requests, payload int, timeout time.Duration) {
 		bytesOut += len(out)
 		cardSeen[card]++
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:wallclock client-mode smoke test measures real request latency
 	fmt.Printf("%d × %s ok: %d B in/req, %d B out total, %.1f req/s, cards %v\n",
 		requests, fn, payload, bytesOut,
 		float64(requests)/elapsed.Seconds(), cardSeen)

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -77,7 +78,7 @@ func main() {
 		})
 		metricsSrv = &http.Server{Handler: mux}
 		go func() {
-			if err := metricsSrv.Serve(metricsLn); err != nil && err != http.ErrServerClosed {
+			if err := metricsSrv.Serve(metricsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Fatal(err)
 			}
 		}()

@@ -1,0 +1,143 @@
+// Package analysistest runs an analyzer over golden testdata packages
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of this
+// repository's stdlib-only framework.
+//
+// Testdata lives under internal/analysis/testdata/src/<analyzer>/…
+// and is laid out like a miniature module tree (…/internal/mcu and so
+// on) so the analyzers' package-classification rules apply unchanged.
+// Each expected diagnostic is declared on the offending line:
+//
+//	t := time.Now() // want `time\.Now reads the wall clock`
+//
+// Every reported diagnostic must match a want expectation on its line
+// and every expectation must be matched — unexpected and missing
+// findings both fail the test. Directive-allowed lines simply carry no
+// want comment: if the directive failed to suppress, the diagnostic is
+// unexpected and the test fails.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"agilefpga/internal/analysis"
+)
+
+// wantRe matches the expectation list after the want marker; each
+// expectation is a backquoted or double-quoted regular expression.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each testdata package (path relative to
+// internal/analysis/testdata/src), runs a over it, and diffs the
+// diagnostics against the want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	root := moduleRoot(t)
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./internal/analysis/testdata/src/" + d
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+				a.Name, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches the message.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					i := strings.Index(text, "want ")
+					if i < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(text[i+len("want "):], -1) {
+						raw := m[1]
+						if raw == "" {
+							raw = m[2]
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						out = append(out, &expectation{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							raw:  raw,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanUnderMutex flags blocking channel operations (sends, receives,
+// blocking selects) and sync.WaitGroup.Wait calls made while a
+// sync.Mutex or sync.RWMutex is held. A goroutine parked on a channel
+// keeps the mutex, so every other locker parks behind it — the
+// deadlock class that bites serving layers where a queue send and a
+// state lock meet (cluster dispatcher, network server). Non-blocking
+// attempts (a select with a default case) are legal: that is exactly
+// the admission-control pattern internal/server uses.
+var ChanUnderMutex = &Analyzer{
+	Name: "chanundermutex",
+	Doc: `forbid blocking channel operations while holding a mutex
+
+Tracks Lock/RLock…Unlock/RUnlock regions lexically within each
+function and reports channel sends, channel receives, selects without
+a default case, and sync.WaitGroup.Wait inside a held region. Deferred
+unlocks leave the region held (correct: the code after a deferred
+unlock still runs under the lock). Function literals are analysed as
+separate scopes — a spawned goroutine does not inherit the caller's
+locks. Sites that are provably safe (for example a send under an
+RWMutex read lock whose writers never block on the channel's consumer)
+can carry //lint:allow chanundermutex with a justification.`,
+	Run: runChanUnderMutex,
+}
+
+// heldMutex records one live acquisition.
+type heldMutex struct {
+	display string // source rendering, e.g. "cl.stopMu"
+	op      string // Lock or RLock
+	pos     token.Position
+}
+
+type cmWalker struct {
+	pass *Pass
+}
+
+func runChanUnderMutex(pass *Pass) error {
+	w := &cmWalker{pass: pass}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.block(fd.Body, map[*types.Var]*heldMutex{})
+			}
+		}
+	}
+	return nil
+}
+
+func cloneHeld(h map[*types.Var]*heldMutex) map[*types.Var]*heldMutex {
+	c := make(map[*types.Var]*heldMutex, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// block walks a statement list, threading the held set forward.
+func (w *cmWalker) block(b *ast.BlockStmt, held map[*types.Var]*heldMutex) {
+	for _, s := range b.List {
+		w.stmt(s, held)
+	}
+}
+
+func (w *cmWalker) stmt(s ast.Stmt, held map[*types.Var]*heldMutex) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if w.lockOp(call, held) {
+				return
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Arrow, "blocking send on %s", types.ExprString(s.Chan), held)
+		}
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		w.stmt(s.Body, cloneHeld(held))
+		w.stmt(s.Else, cloneHeld(held))
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		body := cloneHeld(held)
+		w.stmt(s.Body, body)
+		w.stmt(s.Post, body)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		if len(held) > 0 {
+			if t := w.pass.Info.Types[s.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.report(s.For, "blocking range over channel %s", types.ExprString(s.X), held)
+				}
+			}
+		}
+		w.stmt(s.Body, cloneHeld(held))
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Tag, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := cloneHeld(held)
+				for _, st := range cc.Body {
+					w.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := cloneHeld(held)
+				for _, st := range cc.Body {
+					w.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm != nil {
+				if !hasDefault && len(held) > 0 {
+					w.report(cc.Comm.Pos(), "blocking select case %s", commString(cc.Comm), held)
+				}
+				// The operands themselves (channel exprs, sent values)
+				// are evaluated either way; nested receives in them
+				// still block.
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					w.expr(comm.Chan, held)
+					w.expr(comm.Value, held)
+				case *ast.ExprStmt:
+					// the comm receive itself was handled above
+				case *ast.AssignStmt:
+					for _, e := range comm.Lhs {
+						w.expr(e, held)
+					}
+				}
+			}
+			inner := cloneHeld(held)
+			for _, st := range cc.Body {
+				w.stmt(st, inner)
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the region held (correct); any other
+		// deferred work runs at return, outside this lexical analysis.
+	case *ast.GoStmt:
+		// A new goroutine does not inherit the spawner's locks; its
+		// body is analysed as a fresh scope via the FuncLit case.
+		w.expr(s.Call.Fun, held)
+		for _, e := range s.Call.Args {
+			w.expr(e, held)
+		}
+	default:
+		// IncDecStmt, BranchStmt, EmptyStmt: nothing blocking.
+	}
+}
+
+// lockOp updates held if call is a mutex operation, reporting whether
+// it consumed the statement.
+func (w *cmWalker) lockOp(call *ast.CallExpr, held map[*types.Var]*heldMutex) bool {
+	v, op, base := mutexOpVar(w.pass.Info, call)
+	if op == "" {
+		return false
+	}
+	if v == nil {
+		return true // unnameable mutex; stay conservative and quiet
+	}
+	switch op {
+	case "Lock", "RLock":
+		held[v] = &heldMutex{
+			display: types.ExprString(base),
+			op:      op,
+			pos:     w.pass.Fset.Position(call.Pos()),
+		}
+	case "Unlock", "RUnlock":
+		delete(held, v)
+	}
+	return true
+}
+
+// expr scans an expression for blocking operations: receives,
+// WaitGroup.Wait calls, and nested function literals (fresh scopes).
+func (w *cmWalker) expr(e ast.Expr, held map[*types.Var]*heldMutex) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.block(n.Body, map[*types.Var]*heldMutex{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.report(n.OpPos, "blocking receive from %s", types.ExprString(n.X), held)
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(w.pass.Info, n); f != nil && len(held) > 0 {
+				if funcPkgPath(f) == "sync" && f.Name() == "Wait" {
+					if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if named, ok := deref(sig.Recv().Type()).(*types.Named); ok && named.Obj().Name() == "WaitGroup" {
+							w.report(n.Pos(), "blocking %s", types.ExprString(n.Fun)+"()", held)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *cmWalker) report(pos token.Pos, format, operand string, held map[*types.Var]*heldMutex) {
+	// Name one held mutex deterministically (the alphabetically first
+	// display string) so diagnostics are stable.
+	var h *heldMutex
+	for _, cand := range held {
+		if h == nil || cand.display < h.display {
+			h = cand
+		}
+	}
+	w.pass.Reportf(pos,
+		format+" while holding %s (%s at line %d): a parked goroutine keeps the mutex and every other locker deadlocks behind it",
+		operand, h.display, h.op, h.pos.Line)
+}
+
+func commString(s ast.Stmt) string {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		return "sending on " + types.ExprString(s.Chan)
+	case *ast.ExprStmt:
+		return types.ExprString(s.X)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			return types.ExprString(s.Rhs[0])
+		}
+	}
+	return "communication"
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Directive comments let wall-facing code opt out of a check, leaving
+// a greppable, reviewable record of every exception:
+//
+//	start := time.Now() //lint:wallclock server latency is wall time
+//
+//	//lint:allow chanundermutex workers drain the queues independently
+//	select { ... }
+//
+// //lint:wallclock is shorthand for //lint:allow virtualtime — the
+// directive the virtualtime analyzer names in its message. A directive
+// suppresses matching diagnostics on its own line; a directive written
+// on its own line additionally covers the whole statement or
+// declaration that begins on the next line (so one directive can cover
+// a multi-line select or function). Hard diagnostics (wall-clock use
+// inside the simulation domain) ignore directives entirely.
+var directiveRe = regexp.MustCompile(`^//lint:(wallclock\b|allow\s+([A-Za-z][A-Za-z0-9]*))`)
+
+// lineRange is a directive's reach within one file.
+type lineRange struct {
+	from, to int
+	analyzer string
+}
+
+// directiveIndex records where //lint: directives apply, per file.
+type directiveIndex struct {
+	ranges map[string][]lineRange
+}
+
+// parseDirective extracts the analyzer name a comment line allows, or
+// "" when the comment is not a directive.
+func parseDirective(text string) string {
+	m := directiveRe.FindStringSubmatch(text)
+	if m == nil {
+		return ""
+	}
+	if strings.HasPrefix(m[1], "wallclock") {
+		return "virtualtime"
+	}
+	return m[2]
+}
+
+// buildDirectiveIndex scans every comment in the package's files.
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{ranges: make(map[string][]lineRange)}
+	for _, f := range files {
+		fname := fset.Position(f.Package).Filename
+		type pending struct {
+			line     int
+			analyzer string
+		}
+		var directives []pending
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := parseDirective(c.Text)
+				if name == "" {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				directives = append(directives, pending{line, name})
+				idx.ranges[fname] = append(idx.ranges[fname], lineRange{line, line, name})
+			}
+		}
+		if len(directives) == 0 {
+			continue
+		}
+		// Extend standalone directives over the statement or
+		// declaration starting on the following line: record the
+		// widest node whose first line is directive line + 1.
+		want := make(map[int][]pending) // start line -> directives
+		for _, d := range directives {
+			want[d.line+1] = append(want[d.line+1], d)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			switch n.(type) {
+			case ast.Stmt, ast.Decl:
+			default:
+				return true
+			}
+			start := fset.Position(n.Pos())
+			ds, ok := want[start.Line]
+			if !ok {
+				return true
+			}
+			end := fset.Position(n.End()).Line
+			for _, d := range ds {
+				idx.ranges[fname] = append(idx.ranges[fname], lineRange{start.Line, end, d.analyzer})
+			}
+			// Widest node wins; nested nodes on the same line only
+			// narrow the range, so stop matching this line.
+			delete(want, start.Line)
+			return true
+		})
+	}
+	return idx
+}
+
+// allows reports whether a directive covers the diagnostic.
+func (idx *directiveIndex) allows(analyzer string, pos token.Position) bool {
+	if idx == nil {
+		return false
+	}
+	for _, r := range idx.ranges[pos.Filename] {
+		if r.analyzer == analyzer && pos.Line >= r.from && pos.Line <= r.to {
+			return true
+		}
+	}
+	return false
+}

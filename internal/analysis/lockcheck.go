@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces the repository's locked-helper convention: a
+// method suffixed "Locked", or whose doc comment says the caller must
+// hold a mutex, runs with its guard already held. Such a helper must
+// not re-acquire the guard (instant deadlock on Go's non-reentrant
+// mutexes), and — within the package, where the call graph is visible
+// — it must only be called from functions that either are locked
+// helpers of the same guard themselves or acquire the guard before the
+// call.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: `check the "caller must hold the lock" convention
+
+Methods suffixed Locked, or documented "caller must hold …" / "with
+… held", are helpers that run under an already-held mutex (the
+per-card lock on core.CoProcessor is the motivating case: card state
+must only move under cp.mu). The analyzer resolves each helper's
+guard — the receiver's sync.Mutex/RWMutex field — then checks that the
+helper never re-acquires it and that every intra-package caller either
+holds the guard convention itself or lexically acquires the guard
+before the call.`,
+	Run: runLockCheck,
+}
+
+// lockedDocRe recognises the doc-comment forms of the convention.
+var lockedDocRe = regexp.MustCompile(`(?i)\bcallers?\s+(?:must\s+)?hold\b|\bwith\s+\S+\s+held\b|\bwhile\s+holding\b|\bmu\s+held\b`)
+
+// lockedFunc is one helper that must run under its guard.
+type lockedFunc struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	guard *types.Var // mutex field of the receiver struct
+	recv  string     // receiver name, for messages
+}
+
+func runLockCheck(pass *Pass) error {
+	locked := make(map[*types.Func]*lockedFunc)
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			if lf := classifyLocked(pass, fd); lf != nil {
+				locked[lf.fn] = lf
+			}
+		}
+	}
+
+	// A helper documented to run under the guard must not acquire it.
+	for _, lf := range locked {
+		guard := lf.guard
+		ast.Inspect(lf.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			v, op, base := mutexOpVar(pass.Info, call)
+			if v == nil || v != guard {
+				return true
+			}
+			if op == "Lock" || op == "RLock" {
+				pass.Reportf(call.Pos(),
+					"%s runs with %s.%s held (per its name/doc) but calls %s.%s() itself — deadlock on a non-reentrant mutex",
+					lf.fn.Name(), lf.recv, guard.Name(), types.ExprString(base), op)
+			}
+			return true
+		})
+	}
+
+	// Every intra-package caller of a locked helper must hold the guard.
+	for _, fd := range decls {
+		caller, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		callerLocked := locked[caller]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			lf, ok := locked[callee]
+			if !ok {
+				return true
+			}
+			if callerLocked != nil && callerLocked.guard == lf.guard {
+				return true // locked helper calling a sibling under the same guard
+			}
+			if acquiresBefore(pass.Info, fd.Body, lf.guard, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s, which requires holding %s.%s, but %s never acquires it before the call",
+				callee.Name(), lf.recv, lf.guard.Name(), fd.Name.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// classifyLocked decides whether fd is a locked helper and resolves
+// its guard. Helpers whose guard cannot be determined (no receiver, no
+// mutex field, ambiguous field not named in the doc) are skipped — the
+// analyzer only checks what it can prove.
+func classifyLocked(pass *Pass, fd *ast.FuncDecl) *lockedFunc {
+	name := fd.Name.Name
+	byName := strings.HasSuffix(name, "Locked")
+	byDoc := fd.Doc != nil && lockedDocRe.MatchString(fd.Doc.Text())
+	if !byName && !byDoc {
+		return nil
+	}
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	fields := mutexFieldsOf(sig.Recv().Type())
+	if len(fields) == 0 {
+		return nil
+	}
+	guard := fields[0]
+	if len(fields) > 1 {
+		guard = nil
+		if fd.Doc != nil {
+			doc := fd.Doc.Text()
+			for _, f := range fields {
+				if regexp.MustCompile(`\b` + regexp.QuoteMeta(f.Name()) + `\b`).MatchString(doc) {
+					guard = f
+					break
+				}
+			}
+		}
+		if guard == nil {
+			return nil
+		}
+	}
+	recv := "receiver"
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	return &lockedFunc{fn: fn, decl: fd, guard: guard, recv: recv}
+}
+
+// mutexFieldsOf lists the sync.Mutex / sync.RWMutex fields of the
+// receiver's struct type.
+func mutexFieldsOf(t types.Type) []*types.Var {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); isMutexType(f.Type()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// acquiresBefore reports whether body contains a Lock/RLock on guard
+// lexically before pos. Lexical order is a heuristic — it accepts an
+// acquire on a different instance of the same struct — but it reliably
+// catches the real failure mode: calling a locked helper from a
+// function that never takes the lock at all.
+func acquiresBefore(info *types.Info, body *ast.BlockStmt, guard *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if call.Pos() >= pos {
+			return true
+		}
+		v, op, _ := mutexOpVar(info, call)
+		if v == guard && (op == "Lock" || op == "RLock") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

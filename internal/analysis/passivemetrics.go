@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// metricsPkgPath and simPkgPath are the real packages the invariant
+// connects; analyzer testdata imports the same packages, so exact
+// paths are correct in both contexts.
+const (
+	metricsPkgPath = "agilefpga/internal/metrics"
+	simPkgPath     = "agilefpga/internal/sim"
+)
+
+// metricsObservationFuncs are the internal/metrics entry points an
+// instrumented code path calls while recording: series constructors
+// and the mutating observation methods.
+var metricsObservationFuncs = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Observe":   true,
+	"Add":       true,
+	"Inc":       true,
+	"Dec":       true,
+	"Set":       true,
+}
+
+// clockAdvancingFuncs are the internal/sim functions that move a
+// virtual clock domain.
+var clockAdvancingFuncs = map[string]bool{
+	"Advance": true,
+	"Reset":   true,
+}
+
+// PassiveMetrics enforces that telemetry is an observer, never an
+// actor: the arguments of a metrics observation must not advance a
+// virtual clock domain. TestMetricsChangeNoVirtualTime spot-checks
+// this property dynamically for one path; the analyzer proves the
+// syntactic form of it everywhere — no call reachable from a metrics
+// observation's argument list may be (*sim.Domain).Advance or Reset.
+var PassiveMetrics = &Analyzer{
+	Name: "passivemetrics",
+	Doc: `metrics observation must not advance virtual time
+
+Every instrumented phase computes its virtual-time cost first and then
+observes the already-computed value; writing
+hist.Observe(dom.Advance(n)) would make telemetry perturb the very
+quantity it measures, breaking the paper's deterministic cost model
+whenever metrics are enabled. The analyzer flags any
+(*sim.Domain).Advance / Reset call nested inside the argument
+expressions of an internal/metrics observation call.`,
+	Run: runPassiveMetrics,
+}
+
+func runPassiveMetrics(pass *Pass) error {
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || funcPkgPath(callee) != metricsPkgPath || !metricsObservationFuncs[callee.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(inner ast.Node) bool {
+					ic, ok := inner.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					adv := calleeFunc(pass.Info, ic)
+					if adv == nil || funcPkgPath(adv) != simPkgPath || !clockAdvancingFuncs[adv.Name()] {
+						return true
+					}
+					sig, ok := adv.Type().(*types.Signature)
+					if !ok || sig.Recv() == nil {
+						return true
+					}
+					if named, ok := deref(sig.Recv().Type()).(*types.Named); !ok || named.Obj().Name() != "Domain" {
+						return true
+					}
+					if !reported[ic.Pos()] {
+						reported[ic.Pos()] = true
+						pass.Reportf(ic.Pos(),
+							"(*sim.Domain).%s advances virtual time inside the arguments of metrics call %s.%s — observation must be passive: compute the time first, then observe it",
+							adv.Name(), recvDisplay(call), callee.Name())
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// recvDisplay names the metrics value being called, for the message.
+func recvDisplay(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		s := types.ExprString(sel.X)
+		if len(s) > 40 {
+			s = s[:37] + "..."
+		}
+		return s
+	}
+	return "metrics"
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SentinelErr flags ==/!= comparisons against sentinel error values
+// (package-level error variables like cluster.ErrQueueFull, io.EOF,
+// http.ErrServerClosed) and switch statements that dispatch on an
+// error with == semantics. Sentinels must be matched with errors.Is:
+// the cluster wraps its sentinels ("%w"-wrapping adds the function id
+// to ErrUnknownFunction), so an == comparison silently stops matching
+// the moment any layer adds context.
+var SentinelErr = &Analyzer{
+	Name: "sentinelerr",
+	Doc: `require errors.Is for sentinel error comparisons
+
+Backpressure and shutdown are signalled through sentinel errors
+(cluster.ErrQueueFull, cluster.ErrStopped, the wire decode sentinels).
+Layers wrap these with fmt.Errorf("…: %w", err), so == comparisons
+are one wrap away from silently never matching — and a missed
+ErrQueueFull turns explicit load-shedding into a misclassified
+internal error. errors.Is follows the unwrap chain and is the only
+correct match.`,
+	Run: runSentinelErr,
+}
+
+func runSentinelErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				checkCompare(pass, n.OpPos, n.Op.String(), n.X, n.Y)
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tagT := pass.Info.Types[n.Tag].Type
+				if tagT == nil || !isErrorType(tagT) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := sentinelVar(pass.Info, e); s != nil {
+							pass.Reportf(e.Pos(),
+								"switch on an error compares cases with ==; match the sentinel %s with errors.Is instead",
+								sentinelName(pass, s, e))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCompare(pass *Pass, pos token.Pos, op string, x, y ast.Expr) {
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		sent, other := pair[0], pair[1]
+		s := sentinelVar(pass.Info, sent)
+		if s == nil {
+			continue
+		}
+		ot := pass.Info.Types[other]
+		if ot.IsNil() || ot.Type == nil || !isErrorType(ot.Type) {
+			continue
+		}
+		pass.Reportf(pos,
+			"sentinel error %s compared with %s; wrapped errors never match — use errors.Is(err, %s)",
+			sentinelName(pass, s, sent), op, sentinelName(pass, s, sent))
+		return
+	}
+}
+
+// sentinelVar resolves an expression to a package-level variable of
+// error type, the shape every sentinel in this codebase (and the
+// standard library) takes.
+func sentinelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level (local variable, field, parameter)
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// sentinelName renders the sentinel the way the source spelled it.
+func sentinelName(pass *Pass, v *types.Var, e ast.Expr) string {
+	if v.Pkg() != nil && v.Pkg() != pass.Pkg {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}

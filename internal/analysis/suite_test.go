@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"agilefpga/internal/analysis"
+	"agilefpga/internal/analysis/analysistest"
+)
+
+func TestVirtualTime(t *testing.T) {
+	analysistest.Run(t, analysis.VirtualTime,
+		"virtualtime/internal/mcu",
+		"virtualtime/internal/server",
+	)
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, analysis.LockCheck, "lockcheck/internal/core")
+}
+
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, analysis.SentinelErr, "sentinelerr/internal/cluster")
+}
+
+func TestChanUnderMutex(t *testing.T) {
+	analysistest.Run(t, analysis.ChanUnderMutex, "chanundermutex/internal/server")
+}
+
+func TestPassiveMetrics(t *testing.T) {
+	analysistest.Run(t, analysis.PassiveMetrics, "passivemetrics/internal/mcu")
+}

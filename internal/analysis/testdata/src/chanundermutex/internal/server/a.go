@@ -1,0 +1,83 @@
+// Package server is chanundermutex golden testdata: no blocking
+// channel operation or WaitGroup.Wait while holding a mutex.
+package server
+
+import "sync"
+
+type Q struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (q *Q) BadSend(v int) {
+	q.mu.Lock()
+	q.ch <- v // want `blocking send on q\.ch while holding q\.mu`
+	q.mu.Unlock()
+}
+
+func (q *Q) GoodSend(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+func (q *Q) NonBlocking(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *Q) BadReceive() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want `blocking receive from q\.ch while holding q\.mu`
+}
+
+func (q *Q) BadReadLock() int {
+	q.rw.RLock()
+	defer q.rw.RUnlock()
+	return <-q.ch // want `blocking receive from q\.ch while holding q\.rw \(RLock`
+}
+
+func (q *Q) BadWait() {
+	q.mu.Lock()
+	q.wg.Wait() // want `blocking q\.wg\.Wait\(\) while holding q\.mu`
+	q.mu.Unlock()
+}
+
+func (q *Q) BadSelect(done chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- 1: // want `blocking select case sending on q\.ch`
+	case <-done: // want `blocking select case <-done`
+	}
+}
+
+func (q *Q) GoroutineDoesNotInherit() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.ch <- 1
+	}()
+}
+
+func (q *Q) WaitAfterUnlock() {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+//lint:allow chanundermutex read side only orders against close; workers drain the channel independently
+func (q *Q) Allowed(v int) {
+	q.rw.RLock()
+	q.ch <- v
+	q.rw.RUnlock()
+}

@@ -1,0 +1,52 @@
+// Package core is lockcheck golden testdata: helpers suffixed Locked
+// or documented "caller must hold" must not re-acquire their guard and
+// must only be called under it.
+package core
+
+import "sync"
+
+type Card struct {
+	mu    sync.Mutex
+	state int
+}
+
+// bumpLocked increments the card state; the suffix marks it a locked
+// helper.
+func (c *Card) bumpLocked() {
+	c.state++
+}
+
+// reacquireLocked is a locked helper that deadlocks by taking its own
+// guard.
+func (c *Card) reacquireLocked() {
+	c.mu.Lock() // want `reacquireLocked runs with c\.mu held .* but calls c\.mu\.Lock\(\) itself`
+	c.state++
+	c.mu.Unlock()
+}
+
+// drain resets the card. The caller must hold c.mu.
+func (c *Card) drain() {
+	c.state = 0
+}
+
+// resetLocked chains to a sibling helper under the same guard — legal.
+func (c *Card) resetLocked() {
+	c.bumpLocked()
+	c.drain()
+}
+
+func (c *Card) Good() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+	c.drain()
+}
+
+func (c *Card) Bad() {
+	c.bumpLocked() // want `call to bumpLocked, which requires holding c\.mu`
+	c.drain()      // want `call to drain, which requires holding c\.mu`
+}
+
+func (c *Card) Suppressed() {
+	c.bumpLocked() //lint:allow lockcheck constructor path runs before the card is shared
+}

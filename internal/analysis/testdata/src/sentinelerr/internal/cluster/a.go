@@ -1,0 +1,42 @@
+// Package cluster is sentinelerr golden testdata: sentinel errors are
+// matched with errors.Is, never ==/!=.
+package cluster
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrQueueFull = errors.New("cluster: card queue full")
+
+func classify(err error) int {
+	if err == ErrQueueFull { // want `sentinel error ErrQueueFull compared with ==`
+		return 1
+	}
+	if err != io.EOF { // want `sentinel error io\.EOF compared with !=`
+		return 2
+	}
+	if errors.Is(err, ErrQueueFull) {
+		return 3
+	}
+	if err == nil {
+		return 4
+	}
+	switch err {
+	case ErrQueueFull: // want `switch on an error compares cases with ==`
+		return 5
+	case nil:
+		return 6
+	}
+	//lint:allow sentinelerr identity comparison is deliberate here
+	if err == ErrQueueFull {
+		return 7
+	}
+	return 0
+}
+
+// Non-error comparisons with the same shape stay legal.
+func codes(code uint32) bool {
+	const ErrCodeBadInput = uint32(2)
+	return code == ErrCodeBadInput
+}

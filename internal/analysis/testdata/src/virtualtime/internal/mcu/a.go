@@ -1,0 +1,29 @@
+// Package mcu is virtualtime golden testdata for a simulation-domain
+// package: every wall-clock read is a hard diagnostic, and the
+// //lint:wallclock directive must NOT be able to silence it.
+package mcu
+
+import (
+	"math/rand"
+	"time"
+)
+
+func configure() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock inside the simulation domain`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock inside the simulation domain`
+	return time.Since(start)     // want `time\.Since reads the wall clock inside the simulation domain`
+}
+
+func cheat() time.Time {
+	return time.Now() //lint:wallclock directives cannot override the sim domain // want `//lint:wallclock cannot override this here`
+}
+
+func jitter() int {
+	return rand.Intn(8) // want `math/rand\.Intn in the simulation domain`
+}
+
+// Pure value manipulation stays legal: durations and formatting do not
+// read the clock.
+func legal(d time.Duration) string {
+	return (d + time.Millisecond).String()
+}

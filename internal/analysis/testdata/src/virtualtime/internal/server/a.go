@@ -1,0 +1,22 @@
+// Package server is virtualtime golden testdata for a wall-facing
+// package: wall-clock reads are legal only under an explicit
+// //lint:wallclock directive.
+package server
+
+import "time"
+
+func latency() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock: annotate the site with //lint:wallclock`
+	return time.Since(start) //lint:wallclock server latency is wall time by design
+}
+
+//lint:wallclock the whole poller is wall-facing
+func poll() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func budget(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time\.Until reads the wall clock`
+}

@@ -11,7 +11,7 @@ package client
 import (
 	"context"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -50,6 +50,10 @@ type Options struct {
 	// OnRetry, if set, observes each retry decision (attempt counts
 	// from 0) — used by tests and metrics wiring.
 	OnRetry func(attempt int, err error)
+	// JitterSeed seeds the backoff jitter PRNG, making retry schedules
+	// reproducible in tests. Zero (the default) draws a random seed, so
+	// production clients stay desynchronised from one another.
+	JitterSeed uint64
 }
 
 // StatusError is a non-OK wire status answered by the server.
@@ -122,7 +126,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 		addr: addr,
 		opts: opts,
 		idle: make(chan net.Conn, opts.PoolSize),
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:  newJitterRNG(opts.JitterSeed),
 	}
 	conn, err := c.dial()
 	if err != nil {
@@ -206,7 +210,7 @@ func (c *Client) once(ctx context.Context, fn uint16, payload []byte) ([]byte, i
 	}()
 	var budget time.Duration
 	if dl, ok := ctx.Deadline(); ok {
-		budget = time.Until(dl)
+		budget = time.Until(dl) //lint:wallclock context deadlines are wall time; the budget shipped on the wire is relative
 		if budget <= 0 {
 			return nil, -1, context.DeadlineExceeded
 		}
@@ -236,6 +240,15 @@ func (c *Client) once(ctx context.Context, fn uint16, payload []byte) ([]byte, i
 	return resp.Payload, int(resp.Card), nil
 }
 
+// newJitterRNG builds the backoff jitter PRNG. Seed 0 draws a random
+// seed (the production default); any other seed is reproducible.
+func newJitterRNG(seed uint64) *rand.Rand {
+	if seed == 0 {
+		seed = rand.Uint64()
+	}
+	return rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+}
+
 // backoff computes the jittered delay before retry number attempt.
 func (c *Client) backoff(attempt int) time.Duration {
 	d := c.opts.BaseBackoff << uint(attempt)
@@ -244,11 +257,11 @@ func (c *Client) backoff(attempt int) time.Duration {
 	}
 	c.rngMu.Lock()
 	defer c.rngMu.Unlock()
-	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(c.rng.Int64N(int64(d/2)+1))
 }
 
 func (c *Client) sleep(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //lint:wallclock retry backoff really sleeps; the client is outside the simulation
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

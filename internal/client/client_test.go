@@ -2,7 +2,6 @@ package client
 
 import (
 	"errors"
-	"math/rand"
 	"testing"
 	"time"
 
@@ -10,9 +9,39 @@ import (
 )
 
 func testClient() *Client {
-	c := &Client{opts: Options{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}}
-	c.rng = rand.New(rand.NewSource(1))
+	c := &Client{opts: Options{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, JitterSeed: 1}}
+	c.rng = newJitterRNG(c.opts.JitterSeed)
 	return c
+}
+
+// TestBackoffSeedDeterminism pins the satellite contract: the same
+// JitterSeed yields the same retry schedule, different seeds diverge.
+func TestBackoffSeedDeterminism(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		c := &Client{opts: Options{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, JitterSeed: seed}}
+		c.rng = newJitterRNG(seed)
+		var ds []time.Duration
+		for attempt := 0; attempt < 6; attempt++ {
+			ds = append(ds, c.backoff(attempt))
+		}
+		return ds
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other := mk(43)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical schedule")
+	}
 }
 
 func TestBackoffGrowsAndCaps(t *testing.T) {

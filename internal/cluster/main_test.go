@@ -1,0 +1,22 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"agilefpga/internal/testutil"
+)
+
+// TestMain fails the package if any cluster worker outlives its test:
+// Stop must reap every per-card worker goroutine.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := testutil.CheckGoroutineLeaks(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

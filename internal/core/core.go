@@ -242,6 +242,8 @@ func (cp *CoProcessor) Install(f *algos.Function) (sim.Time, error) {
 	return cp.install(f)
 }
 
+// install synthesises, compresses and downloads one bank function.
+// The caller must hold cp.mu.
 func (cp *CoProcessor) install(f *algos.Function) (sim.Time, error) {
 	if f == nil {
 		return 0, errors.New("core: Install(nil)")

@@ -70,13 +70,13 @@ func e16Serial(jobs []sched.Job) (cluster.Stats, time.Duration, error) {
 	if err != nil {
 		return cluster.Stats{}, 0, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock E16 compares real serial vs concurrent wall time
 	for _, j := range jobs {
 		if _, _, err := cl.Call(j.Fn, j.Input); err != nil {
 			return cluster.Stats{}, 0, fmt.Errorf("exp: E16 serial job %d: %w", j.Seq, err)
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:wallclock E16 compares real serial vs concurrent wall time
 	if err := cl.CheckInvariants(); err != nil {
 		return cluster.Stats{}, 0, err
 	}

@@ -1,0 +1,23 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"agilefpga/internal/testutil"
+)
+
+// TestMain fails the package if any server goroutine — accept loop,
+// connection handler, in-flight executor — survives its test: graceful
+// shutdown is part of the server's contract.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := testutil.CheckGoroutineLeaks(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

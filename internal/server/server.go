@@ -219,10 +219,10 @@ func (s *Server) handleRequest(req *wire.Request, write func(*wire.Response)) {
 		if s.hookAdmitted != nil {
 			s.hookAdmitted(req)
 		}
-		start := time.Now()
+		start := time.Now() //lint:wallclock served latency is wall time seen by network clients
 		status, card, payload := s.execute(ctx, req)
 		write(&wire.Response{ID: req.ID, Status: status, Card: card, Payload: payload})
-		s.observe(req, status, card, time.Since(start))
+		s.observe(req, status, card, time.Since(start)) //lint:wallclock served latency is wall time seen by network clients
 	}()
 }
 

@@ -1,0 +1,115 @@
+// Package testutil holds helpers shared by the concurrency-heavy test
+// suites. Its centrepiece is a goroutine-leak check in the spirit of
+// go.uber.org/goleak, built on runtime.Stack so it needs no
+// dependencies: packages whose tests spawn workers (internal/server,
+// internal/cluster) run it from TestMain so a handler or worker that
+// outlives its test fails the whole package.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// benignMarkers identify goroutines that legitimately outlive a test:
+// the harness itself, runtime service goroutines, and profiling
+// machinery. A stack containing any marker is never reported.
+var benignMarkers = []string{
+	"testing.Main(",
+	"testing.(*T).Run(",
+	"testing.(*M).before",
+	"testing.runTests",
+	"testing.runFuzzing",
+	"testing.(*F).Fuzz(",
+	"runtime/pprof.",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ReadTrace",
+	"runtime.ensureSigM",
+	"created by runtime.gc",
+	"runtime.MHeap_Scavenger",
+}
+
+// CheckGoroutineLeaks reports an error if, after a short grace period
+// for in-flight shutdowns to settle, any goroutine outside the test
+// harness and the runtime is still alive. Call it from TestMain after
+// m.Run:
+//
+//	func TestMain(m *testing.M) {
+//		code := m.Run()
+//		if code == 0 {
+//			if err := testutil.CheckGoroutineLeaks(); err != nil {
+//				fmt.Fprintln(os.Stderr, err)
+//				code = 1
+//			}
+//		}
+//		os.Exit(code)
+//	}
+func CheckGoroutineLeaks() error {
+	//lint:wallclock the leak grace period is real time: goroutines wind down on the wall clock
+	deadline := time.Now().Add(2 * time.Second)
+	var leaked []string
+	for {
+		leaked = leakedGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) { //lint:wallclock see above
+			break
+		}
+		time.Sleep(10 * time.Millisecond) //lint:wallclock see above
+	}
+	return fmt.Errorf("testutil: %d leaked goroutine(s) after tests:\n\n%s",
+		len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// leakedGoroutines snapshots every live goroutine's stack and returns
+// the suspicious ones.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for i, stack := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue // the goroutine running this check
+		}
+		if stack == "" || isBenign(stack) {
+			continue
+		}
+		leaked = append(leaked, stack)
+	}
+	return leaked
+}
+
+func isBenign(stack string) bool {
+	for _, m := range benignMarkers {
+		if strings.Contains(stack, m) {
+			return true
+		}
+	}
+	// A goroutine parked in the runtime with no user frames (e.g. a
+	// finalizer waiter) prints only runtime functions.
+	for _, line := range strings.Split(stack, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "goroutine ") {
+			continue
+		}
+		if strings.HasPrefix(line, "created by ") {
+			line = strings.TrimPrefix(line, "created by ")
+		}
+		if strings.HasPrefix(line, "runtime.") || strings.HasPrefix(line, "/") {
+			continue
+		}
+		return false // found a non-runtime user frame
+	}
+	return true
+}

@@ -1,0 +1,36 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoLeaksOnQuiescentProcess(t *testing.T) {
+	if err := CheckGoroutineLeaks(); err != nil {
+		t.Fatalf("quiescent process reported leaks: %v", err)
+	}
+}
+
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	leaked := leakedGoroutines()
+	found := false
+	for _, s := range leaked {
+		if strings.Contains(s, "TestDetectsLeakedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("blocked goroutine not reported; got %d stacks", len(leaked))
+	}
+	close(release)
+	if err := CheckGoroutineLeaks(); err != nil {
+		t.Fatalf("leak still reported after release: %v", err)
+	}
+}

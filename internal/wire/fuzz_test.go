@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"time"
 )
@@ -24,6 +25,12 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{0, 0, 0, 26, 0xA6, 0x1E, 1, 2})
 	f.Add(AppendResponse(nil, &Response{ID: 9, Status: StatusOK, Card: 1, Payload: []byte("abc")}))
+	// A zero deadline is the explicit "no deadline" encoding and must
+	// round-trip like any other valid frame.
+	f.Add(AppendRequest(nil, &Request{ID: 2, Fn: 3, Deadline: 0, Payload: []byte("z")}))
+	// A header whose payload length claims MaxPayload+1 bytes: the
+	// decoder must reject on the claimed length, before allocating.
+	f.Add(oversizedHeader(TypeRequest))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, n, err := DecodeRequest(data)
@@ -47,4 +54,67 @@ func FuzzDecodeRequest(f *testing.F) {
 			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data[:n], reenc)
 		}
 	})
+}
+
+// FuzzDecodeResponse is the response-side twin: the decoder never
+// panics, never accepts an oversized payload, and every accepted frame
+// re-encodes canonically.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(AppendResponse(nil, &Response{ID: 1, Status: StatusOK, Card: 0, Payload: []byte("seed")}))
+	f.Add(AppendResponse(nil, &Response{ID: 0, Status: StatusInternal, Card: -1, Payload: []byte{}}))
+	f.Add(AppendResponse(nil, &Response{ID: 1<<64 - 1, Status: StatusUnavailable, Card: 1<<15 - 1,
+		Payload: bytes.Repeat([]byte{0xC3}, 300)}))
+	valid := AppendResponse(nil, &Response{ID: 9, Status: StatusNotFound, Card: 2, Payload: []byte("abc")})
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	// A request frame fed to the response decoder must be rejected on
+	// frame type.
+	f.Add(AppendRequest(nil, &Request{ID: 9, Fn: 2, Payload: []byte("abc")}))
+	f.Add(oversizedHeader(TypeResponse))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, n, err := DecodeResponse(data)
+		if err != nil {
+			if resp != nil || n != 0 {
+				t.Fatalf("failed decode leaked state: resp=%v n=%d", resp, n)
+			}
+			return
+		}
+		if n < lenPrefix+responseHeaderLen || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if len(resp.Payload) > MaxPayload {
+			t.Fatalf("accepted payload of %d bytes", len(resp.Payload))
+		}
+		reenc := AppendResponse(nil, resp)
+		if !bytes.Equal(reenc, data[:n]) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data[:n], reenc)
+		}
+	})
+}
+
+// oversizedHeader builds a frame header of the given type whose payload
+// length field claims MaxPayload+1 bytes (with a matching frame length
+// and no body) — the shape a hostile peer would use to balloon the
+// decoder's allocation.
+func oversizedHeader(frameType byte) []byte {
+	headerLen := requestHeaderLen
+	if frameType == TypeResponse {
+		headerLen = responseHeaderLen
+	}
+	b := make([]byte, 0, lenPrefix+headerLen)
+	b = binary.BigEndian.AppendUint32(b, uint32(headerLen+MaxPayload+1))
+	b = binary.BigEndian.AppendUint16(b, Magic)
+	b = append(b, Version, frameType)
+	b = binary.BigEndian.AppendUint64(b, 1) // id
+	switch frameType {
+	case TypeRequest:
+		b = binary.BigEndian.AppendUint16(b, 7) // fn
+		b = binary.BigEndian.AppendUint64(b, 0) // deadline
+	case TypeResponse:
+		b = append(b, byte(StatusOK))
+		b = binary.BigEndian.AppendUint16(b, 0) // card
+	}
+	b = binary.BigEndian.AppendUint32(b, MaxPayload+1)
+	return b
 }

@@ -267,7 +267,7 @@ func readFrame(r io.Reader, headerLen int) ([]byte, error) {
 	buf := make([]byte, lenPrefix+frameLen)
 	copy(buf, prefix[:])
 	if _, err := io.ReadFull(r, buf[lenPrefix:]); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrTruncated
 		}
 		return nil, err

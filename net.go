@@ -85,6 +85,9 @@ type DialOptions struct {
 	// jitter in [d/2, d).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// JitterSeed seeds the backoff jitter PRNG so retry schedules are
+	// reproducible in tests; 0 (the default) draws a random seed.
+	JitterSeed uint64
 }
 
 // NetClient is a pooled, retrying connection to a NetServer (or
@@ -102,6 +105,7 @@ func Dial(addr string, opts DialOptions) (*NetClient, error) {
 		MaxRetries:  opts.MaxRetries,
 		BaseBackoff: opts.BaseBackoff,
 		MaxBackoff:  opts.MaxBackoff,
+		JitterSeed:  opts.JitterSeed,
 	})
 	if err != nil {
 		return nil, err
