@@ -73,6 +73,13 @@ type Config struct {
 	// decompression (the configuration port is still paid). Zero
 	// disables the cache.
 	DecodeCacheBytes int
+	// SequentialConfig reverts cold loads to the additive timing model:
+	// ROM streaming, window decompression, and configuration-port writes
+	// charged back to back, with no card-side batch overlap. The default
+	// (false) is the pipelined configuration model — while the port
+	// clocks in window N, the decompressor produces N+1 and the ROM
+	// streams N+2. Retained for A/B comparison (experiment E18).
+	SequentialConfig bool
 	// Metrics enables the telemetry registry: per-phase latency
 	// histograms and behaviour counters, exported in Prometheus text
 	// format (see CoProcessor.Metrics / Cluster.Metrics). Observation is
@@ -124,7 +131,8 @@ type Result struct {
 	Hit bool
 	// Phases breaks the latency down by pipeline stage ("pci", "rom",
 	// "decompress", "configure", "datain", "exec", "dataout",
-	// "overhead").
+	// "overhead", "cache", "pipestall" — the last is time the pipelined
+	// cold-load path stalled waiting on a slow decoder).
 	Phases map[string]time.Duration
 }
 
@@ -146,6 +154,15 @@ type Stats struct {
 	// re-decompressing.
 	DecompCacheHits  uint64
 	DecompCacheBytes uint64
+	// PipelinedLoads and PipeWindows count cold loads costed through the
+	// pipelined configuration model and the decompression windows fed
+	// through it; PipeStall and PipeOverlapSaved are the critical-path
+	// bubble time and the virtual time the overlap hid versus charging
+	// the same stage costs back to back.
+	PipelinedLoads   uint64
+	PipeWindows      uint64
+	PipeStall        time.Duration
+	PipeOverlapSaved time.Duration
 }
 
 // BatchResult reports a pipelined batch of calls (see CallBatch).
@@ -156,6 +173,10 @@ type BatchResult struct {
 	// SequentialLatency is the cost of the same items as one-at-a-time
 	// synchronous calls.
 	SequentialLatency time.Duration
+	// OverlapSaved is the card time hidden by double-buffered input
+	// staging: the data-input module stages item N+1 while the fabric
+	// executes N. Zero under SequentialConfig.
+	OverlapSaved time.Duration
 	// Hits counts items served without reconfiguration.
 	Hits int
 }
@@ -187,6 +208,7 @@ func New(cfg Config) (*CoProcessor, error) {
 		DiffReload:       cfg.DiffReload,
 		Prefetch:         cfg.Prefetch,
 		DecodeCacheBytes: cfg.DecodeCacheBytes,
+		SequentialConfig: cfg.SequentialConfig,
 		Metrics:          reg,
 	})
 	if err != nil {
@@ -250,6 +272,7 @@ func (cp *CoProcessor) CallBatch(name string, inputs [][]byte) (*BatchResult, er
 		Outputs:           r.Outputs,
 		Latency:           r.Latency.Duration(),
 		SequentialLatency: r.SequentialLatency.Duration(),
+		OverlapSaved:      r.OverlapSaved.Duration(),
 		Hits:              r.Hits,
 	}, nil
 }
@@ -304,6 +327,10 @@ func (cp *CoProcessor) Stats() Stats {
 		PrefetchHits:     st.PrefetchHits,
 		DecompCacheHits:  st.DecompCacheHits,
 		DecompCacheBytes: st.DecompCacheBytes,
+		PipelinedLoads:   st.PipelinedLoads,
+		PipeWindows:      st.PipeWindows,
+		PipeStall:        st.PipeStallTime.Duration(),
+		PipeOverlapSaved: st.PipeOverlapSaved.Duration(),
 	}
 }
 

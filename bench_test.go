@@ -211,6 +211,26 @@ func BenchmarkE15_Cluster(b *testing.B) {
 	b.ReportMetric(last.HitRate["4/partition"], "4card-partition-hitrate")
 }
 
+// BenchmarkE18_PipelinedColdLoad compares the additive sequential
+// configuration model against the pipelined one (DESIGN §12) on
+// whole-bank cold loads. The acceptance bar is framediff ≥ 1.4×.
+func BenchmarkE18_PipelinedColdLoad(b *testing.B) {
+	var last *exp.E18Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunE18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Speedup["framediff"], "framediff-speedup")
+	b.ReportMetric(last.Speedup["huffman"], "huffman-speedup")
+	b.ReportMetric(last.Speedup["none"], "none-speedup")
+	if last.Speedup["framediff"] < 1.4 {
+		b.Fatalf("framediff pipelined speedup %.2fx, want >= 1.4x", last.Speedup["framediff"])
+	}
+}
+
 // BenchmarkE11_ClusterThroughput compares the serial replicate
 // dispatcher against the async serving layer (4 cards, 4 submitters,
 // affinity routing + decoded-frame cache) on the same mixed Zipf

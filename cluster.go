@@ -164,6 +164,10 @@ func (cl *Cluster) Stats() ClusterStats {
 			PrefetchHits:     st.Total.PrefetchHits,
 			DecompCacheHits:  st.Total.DecompCacheHits,
 			DecompCacheBytes: st.Total.DecompCacheBytes,
+			PipelinedLoads:   st.Total.PipelinedLoads,
+			PipeWindows:      st.Total.PipeWindows,
+			PipeStall:        st.Total.PipeStallTime.Duration(),
+			PipeOverlapSaved: st.Total.PipeOverlapSaved.Duration(),
 		},
 		PerCardRequests: st.PerCardRequests,
 	}

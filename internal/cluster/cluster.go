@@ -636,6 +636,10 @@ func (cl *Cluster) Stats() Stats {
 		out.Total.DecompCacheBytes += st.DecompCacheBytes
 		out.Total.SEURepairs += st.SEURepairs
 		out.Total.ScrubTime += st.ScrubTime
+		out.Total.PipelinedLoads += st.PipelinedLoads
+		out.Total.PipeWindows += st.PipeWindows
+		out.Total.PipeStallTime += st.PipeStallTime
+		out.Total.PipeOverlapSaved += st.PipeOverlapSaved
 		out.Total.Defrags += st.Defrags
 		out.Total.Errors += st.Errors
 		out.Total.Phases.AddAll(st.Phases)

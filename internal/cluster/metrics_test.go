@@ -72,6 +72,10 @@ func TestStatsAggregatesEveryField(t *testing.T) {
 		want.DecompCacheBytes += st.DecompCacheBytes
 		want.SEURepairs += st.SEURepairs
 		want.ScrubTime += st.ScrubTime
+		want.PipelinedLoads += st.PipelinedLoads
+		want.PipeWindows += st.PipeWindows
+		want.PipeStallTime += st.PipeStallTime
+		want.PipeOverlapSaved += st.PipeOverlapSaved
 		want.Defrags += st.Defrags
 		want.Errors += st.Errors
 		want.Phases.AddAll(st.Phases)

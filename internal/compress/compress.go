@@ -45,6 +45,19 @@ type Codec interface {
 // ErrCorrupt reports malformed compressed data.
 var ErrCorrupt = errors.New("compress: corrupt stream")
 
+// InputReporter is implemented by every codec reader in this package. It
+// reports how many compressed input bytes the reader has pulled from the
+// stream so far (header included), monotone non-decreasing and never
+// above the stream length. The configuration module uses the per-window
+// deltas to cost the ROM streaming stage of its pipelined load: the
+// bytes consumed between two windows are the bytes the ROM had to
+// deliver for the second window. Decoders that buffer ahead (run bodies,
+// literal chunks, bit reservoirs) may attribute a boundary byte to the
+// earlier window; the per-window split is a model, the total is exact.
+type InputReporter interface {
+	InputConsumed() int
+}
+
 // Names lists the available codec names, sorted, `none` first.
 func Names() []string {
 	names := []string{"rle", "lz77", "huffman", "framediff"}
@@ -115,6 +128,9 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 	r.off += n
 	return n, nil
 }
+
+// InputConsumed reports the bytes read from the underlying slice.
+func (r *sliceReader) InputConsumed() int { return r.off }
 
 // putUvarint / readUvarint: stream length headers.
 func putUvarint(dst []byte, v uint64) []byte {

@@ -67,6 +67,15 @@ type frameDiffReader struct {
 	produced   int
 }
 
+// InputConsumed reports the frame-size header plus whatever the inner
+// RLE reader has consumed.
+func (r *frameDiffReader) InputConsumed() int {
+	if ir, ok := r.inner.(InputReporter); ok {
+		return 2 + ir.InputConsumed()
+	}
+	return 2
+}
+
 func (r *frameDiffReader) Read(p []byte) (int, error) {
 	n, err := r.inner.Read(p)
 	for i := 0; i < n; i++ {

@@ -2,6 +2,7 @@ package compress
 
 import (
 	"container/heap"
+	"encoding/binary"
 	"io"
 	"sort"
 )
@@ -183,18 +184,45 @@ func (huffmanCodec) NewReader(comp []byte) (io.Reader, error) {
 	// Canonical decode tables: for each length, the first code value and
 	// the symbols of that length in canonical order.
 	codes := canonicalCodes(&r.lengths)
+	var kraft uint32
 	for s, l := range r.lengths {
 		if l == 0 {
 			continue
 		}
+		kraft += 1 << (huffMaxLen - uint(l))
 		r.count[l]++
 		r.syms[l] = append(r.syms[l], struct {
 			code uint16
 			sym  byte
 		}{codes[s], byte(s)})
 	}
+	// Over-subscribed length tables (Kraft sum above 1) cannot form a
+	// prefix code; reject them before they can overflow the LUT.
+	if kraft > 1<<huffMaxLen {
+		return nil, ErrCorrupt
+	}
 	for l := 1; l <= huffMaxLen; l++ {
 		sort.Slice(r.syms[l], func(i, j int) bool { return r.syms[l][i].code < r.syms[l][j].code })
+	}
+	// Single-lookup decode table: every huffMaxLen-bit window whose prefix
+	// is the canonical code of a symbol maps to sym<<4 | codeLen. Zero
+	// entries mark bit patterns no code covers.
+	if rawLen > 0 {
+		r.lut = make([]uint16, 1<<huffMaxLen)
+		for s, l := range r.lengths {
+			if l == 0 {
+				continue
+			}
+			base := uint32(codes[s]) << (huffMaxLen - uint(l))
+			span := uint32(1) << (huffMaxLen - uint(l))
+			if base+span > 1<<huffMaxLen {
+				return nil, ErrCorrupt
+			}
+			entry := uint16(s)<<4 | uint16(l)
+			for i := base; i < base+span; i++ {
+				r.lut[i] = entry
+			}
+		}
 	}
 	return r, nil
 }
@@ -211,10 +239,18 @@ type huffReader struct {
 		sym  byte
 	}
 
-	bitBuf uint32
+	lut []uint16 // 1<<huffMaxLen entries of sym<<4 | codeLen; 0 = no code
+
+	bitBuf uint64
 	bitLen uint
+	slow   bool // use the bit-by-bit reference decoder (tests/benchmarks)
 	failed error
 }
+
+// InputConsumed reports the compressed bytes pulled from the stream:
+// everything fetched into the bit reservoir minus the whole bytes still
+// unconsumed in it.
+func (r *huffReader) InputConsumed() int { return r.off - int(r.bitLen)/8 }
 
 func (r *huffReader) Read(p []byte) (int, error) {
 	if r.failed != nil {
@@ -222,7 +258,13 @@ func (r *huffReader) Read(p []byte) (int, error) {
 	}
 	n := 0
 	for n < len(p) && r.remaining > 0 {
-		sym, err := r.decodeSymbol()
+		var sym byte
+		var err error
+		if r.slow {
+			sym, err = r.decodeSymbolSlow()
+		} else {
+			sym, err = r.decodeSymbol()
+		}
 		if err != nil {
 			r.failed = err
 			if n > 0 {
@@ -240,14 +282,49 @@ func (r *huffReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// decodeSymbol resolves one symbol with a single table lookup: top up the
+// bit reservoir to huffMaxLen bits (zero-padding at the tail), peek, and
+// consume the matched code's length. Entries shorter than the peek width
+// repeat across every padding pattern, so the lookup is exact whenever
+// the real bits form a valid code.
 func (r *huffReader) decodeSymbol() (byte, error) {
+	if r.bitLen <= 32 && r.off+4 <= len(r.comp) {
+		r.bitBuf = r.bitBuf<<32 | uint64(binary.BigEndian.Uint32(r.comp[r.off:]))
+		r.off += 4
+		r.bitLen += 32
+	}
+	for r.bitLen < huffMaxLen && r.off < len(r.comp) {
+		r.bitBuf = r.bitBuf<<8 | uint64(r.comp[r.off])
+		r.off++
+		r.bitLen += 8
+	}
+	var idx uint64
+	if r.bitLen >= huffMaxLen {
+		idx = r.bitBuf >> (r.bitLen - huffMaxLen)
+	} else {
+		idx = r.bitBuf << (huffMaxLen - r.bitLen)
+	}
+	e := r.lut[idx&(1<<huffMaxLen-1)]
+	l := uint(e & 0xF)
+	if l == 0 || l > r.bitLen {
+		return 0, ErrCorrupt
+	}
+	r.bitLen -= l
+	return byte(e >> 4), nil
+}
+
+// decodeSymbolSlow is the pre-LUT reference decoder: walk the stream bit
+// by bit, probing the canonical first-code bucket at every length. It is
+// retained so tests can prove the LUT path byte-identical and benchmarks
+// can measure the speedup.
+func (r *huffReader) decodeSymbolSlow() (byte, error) {
 	code := uint16(0)
 	for l := 1; l <= huffMaxLen; l++ {
 		if r.bitLen == 0 {
 			if r.off >= len(r.comp) {
 				return 0, ErrCorrupt
 			}
-			r.bitBuf = uint32(r.comp[r.off])
+			r.bitBuf = uint64(r.comp[r.off])
 			r.off++
 			r.bitLen = 8
 		}

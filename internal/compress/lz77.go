@@ -144,6 +144,10 @@ type lz77Reader struct {
 	failed  error
 }
 
+// InputConsumed reports the compressed bytes pulled from the token
+// stream, header included.
+func (r *lz77Reader) InputConsumed() int { return r.off }
+
 func (r *lz77Reader) Read(p []byte) (int, error) {
 	if r.failed != nil {
 		return 0, r.failed

@@ -74,6 +74,11 @@ type rleReader struct {
 	failed error
 }
 
+// InputConsumed reports the compressed bytes pulled from the stream. A
+// chunk is consumed when its header is parsed, so pending run output may
+// attribute up to one chunk to the earlier window.
+func (r *rleReader) InputConsumed() int { return r.off }
+
 func (r *rleReader) Read(p []byte) (int, error) {
 	if r.failed != nil {
 		return 0, r.failed

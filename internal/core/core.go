@@ -60,6 +60,12 @@ type Config struct {
 	// whose decoded frame images are cached skip decompression entirely.
 	// 0 disables the cache.
 	DecodeCacheBytes int
+	// SequentialConfig reverts the configuration module to the additive
+	// timing model (ROM, decompression, and port writes charged back to
+	// back) and disables the card-side batch overlap. The zero value is
+	// the pipelined model — see mcu.Config.SequentialConfig and DESIGN
+	// §12. Retained for A/B comparison (experiment E18).
+	SequentialConfig bool
 	// Metrics, when non-nil, receives the telemetry the card and host
 	// driver produce: per-phase latency histograms, request/error
 	// counters, cache and prefetch behaviour. Observation is passive —
@@ -138,6 +144,7 @@ func New(cfg Config) (*CoProcessor, error) {
 		Prefetch:         cfg.Prefetch,
 		ROMImage:         cfg.ROMImage,
 		DecodeCacheBytes: cfg.DecodeCacheBytes,
+		SequentialConfig: cfg.SequentialConfig,
 		Metrics:          cfg.Metrics,
 	}, reg)
 	if err != nil {

@@ -64,7 +64,8 @@ func RunE2() (*E2Result, error) {
 			}
 			cfgTime += call.Breakdown.Get(sim.PhaseROM) +
 				call.Breakdown.Get(sim.PhaseDecompress) +
-				call.Breakdown.Get(sim.PhaseConfigure)
+				call.Breakdown.Get(sim.PhaseConfigure) +
+				call.Breakdown.Get(sim.PhasePipeStall)
 			// Evict so the next load is cold even though the bank
 			// exceeds the device anyway.
 			cp.Controller().Evict(f.ID())

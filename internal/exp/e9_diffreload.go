@@ -58,7 +58,8 @@ func RunE9() (*E9Result, error) {
 		cfg := call.Breakdown.Get(sim.PhaseROM) +
 			call.Breakdown.Get(sim.PhaseDecompress) +
 			call.Breakdown.Get(sim.PhaseConfigure) +
-			call.Breakdown.Get(sim.PhaseOverhead)
+			call.Breakdown.Get(sim.PhaseOverhead) +
+			call.Breakdown.Get(sim.PhasePipeStall)
 		return cfg, rec.FrameCount, nil
 	}
 	for _, f := range algos.Bank() {

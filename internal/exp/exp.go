@@ -84,6 +84,10 @@ func All() []Experiment {
 			r, err := RunE17(1500)
 			return tableOf(r, err)
 		}},
+		{"e18", "Sequential vs pipelined cold load", func() (*Table, error) {
+			r, err := RunE18()
+			return tableOf(r, err)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return expNum(exps[i].ID) < expNum(exps[j].ID) })
 	return exps
@@ -134,3 +138,4 @@ func (r *E13Result) table() *Table { return &r.Table }
 func (r *E14Result) table() *Table { return &r.Table }
 func (r *E15Result) table() *Table { return &r.Table }
 func (r *E16Result) table() *Table { return &r.Table }
+func (r *E18Result) table() *Table { return &r.Table }

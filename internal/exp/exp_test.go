@@ -42,14 +42,21 @@ func TestE2CompressionShape(t *testing.T) {
 	if r.Ratio["framediff"] <= r.Ratio["huffman"] {
 		t.Errorf("framediff (%.2f) must beat huffman (%.2f)", r.Ratio["framediff"], r.Ratio["huffman"])
 	}
-	// Byte-rate decoders hide behind the port, so compression cuts the
-	// configuration path: the ROM read shrinks, the port stream doesn't
-	// grow. Bit-serial Huffman decodes slower than the port drains and
-	// becomes the bottleneck — it buys ROM capacity at a latency cost.
-	for _, c := range []string{"rle", "lz77", "framediff"} {
-		if r.ConfigTime[c] >= r.ConfigTime["none"] {
-			t.Errorf("%s config time %v not below none %v", c, r.ConfigTime[c], r.ConfigTime["none"])
+	// Under the pipelined configuration model (DESIGN §12) the ROM stream
+	// hides behind the port, so byte-rate codecs land within a whisker of
+	// the uncompressed baseline: compression buys ROM capacity without a
+	// configuration-latency bill. Decoders slower than the port cannot
+	// hide — framediff (1.25 cycles/byte) sits visibly above none, and
+	// bit-serial Huffman (4 cycles/byte) is the clear bottleneck.
+	near := r.ConfigTime["none"] + r.ConfigTime["none"]/100
+	for _, c := range []string{"rle", "lz77"} {
+		if r.ConfigTime[c] > near {
+			t.Errorf("%s config time %v not within 1%% of none %v — ROM stream not hidden", c, r.ConfigTime[c], r.ConfigTime["none"])
 		}
+	}
+	if r.ConfigTime["framediff"] <= r.ConfigTime["none"] {
+		t.Errorf("framediff (%v) decodes below port rate, must sit above none (%v)",
+			r.ConfigTime["framediff"], r.ConfigTime["none"])
 	}
 	if r.ConfigTime["huffman"] <= r.ConfigTime["framediff"] {
 		t.Errorf("huffman (%v) should be decoder-bound, above framediff (%v)",
@@ -210,9 +217,35 @@ func TestE8ROMCapacityShape(t *testing.T) {
 	}
 }
 
+func TestE18PipelineShape(t *testing.T) {
+	r, err := RunE18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline may never lose to the additive baseline, for any codec.
+	for codec, seq := range r.Sequential {
+		if r.Pipelined[codec] > seq {
+			t.Errorf("%s: pipelined %v slower than sequential %v", codec, r.Pipelined[codec], seq)
+		}
+	}
+	// The acceptance bar: whole-bank framediff cold loads must speed up by
+	// at least 1.4x when ROM streaming, decompression, and port writes
+	// overlap (DESIGN §12).
+	if r.Speedup["framediff"] < 1.4 {
+		t.Errorf("framediff speedup %.2fx, want ≥ 1.4x", r.Speedup["framediff"])
+	}
+	// Decoder-bound huffman stalls the port; byte-rate rle does not.
+	if r.Stall["huffman"] == 0 {
+		t.Error("huffman (4 cycles/byte) should leave stalls on the critical path")
+	}
+	if r.Saved["framediff"] == 0 {
+		t.Error("framediff overlap saved nothing — pipeline not engaged")
+	}
+}
+
 func TestCatalogue(t *testing.T) {
 	exps := All()
-	if len(exps) != 17 {
+	if len(exps) != 18 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	if _, err := ByID("e3"); err != nil {

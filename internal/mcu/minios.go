@@ -278,12 +278,35 @@ func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdow
 	if c.dcache != nil {
 		if images, ok := c.dcache.get(makeDCKey(rec.FnID, rec.Serial)); ok && len(images) == len(frames) {
 			raw := len(images) * c.cfg.Geometry.FrameBytes()
-			br.Add(sim.PhaseCache, c.mcuDom.Advance(memory.ReadCycles(raw)))
 			portCycles, err := c.pushFrames(frames, images)
 			if err != nil {
 				return err
 			}
-			br.Add(sim.PhaseConfigure, c.cfgDom.Advance(portCycles))
+			if c.cfg.SequentialConfig {
+				br.Add(sim.PhaseCache, c.mcuDom.Advance(memory.ReadCycles(raw)))
+				br.Add(sim.PhaseConfigure, c.cfgDom.Advance(portCycles))
+			} else {
+				// Two-stage pipeline: while the port clocks in frame N, the
+				// next image is read back from RAM. Cumulative-delta costing
+				// keeps the per-frame cycles summing exactly to the totals.
+				pipe := sim.NewPipeline(sim.PhaseCache, sim.PhaseConfigure)
+				fb := c.cfg.Geometry.FrameBytes()
+				var prevRAM, prevPort uint64
+				for i := 1; i <= len(images); i++ {
+					ramCum := memory.ReadCycles(i * fb)
+					portCum := portCycles * uint64(i) / uint64(len(images))
+					if i == len(images) {
+						ramCum = memory.ReadCycles(raw)
+						portCum = portCycles
+					}
+					pipe.Feed(c.mcuDom.Span(ramCum-prevRAM), c.cfgDom.Span(portCum-prevPort))
+					prevRAM, prevPort = ramCum, portCum
+				}
+				c.mcuDom.Advance(memory.ReadCycles(raw))
+				c.cfgDom.Advance(portCycles)
+				stall := pipe.Attribute(br)
+				c.notePipeline(rec.FnID, pipe, stall)
+			}
 			br.Add(sim.PhaseOverhead, c.mcuDom.Advance(uint64(4+2*len(frames))))
 			c.stats.DecompCacheHits++
 			c.stats.DecompCacheBytes += uint64(raw)
@@ -302,7 +325,6 @@ func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdow
 	if err != nil {
 		return err
 	}
-	br.Add(sim.PhaseROM, c.mcuDom.Advance(memory.ReadCycles(len(blob))))
 	c.stats.CompConfigBytes += uint64(len(blob))
 
 	codec, err := compress.ByID(rec.CodecID, c.cfg.Geometry.FrameBytes())
@@ -313,19 +335,29 @@ func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdow
 	if err != nil {
 		return err
 	}
+	consumer, _ := reader.(compress.InputReporter)
 
-	// Window-by-window decompression into per-frame images.
+	// Window-by-window decompression into per-frame images, recording per
+	// window the cumulative output and the cumulative ROM bytes the
+	// decoder pulled to produce it (the pipeline's ROM-stage costing).
 	frameBytes := c.cfg.Geometry.FrameBytes()
 	images := make([][]byte, 0, len(frames))
 	frameBuf := make([]byte, 0, frameBytes)
 	window := make([]byte, c.cfg.WindowBytes)
+	type winMark struct{ out, consumed int } // both cumulative
+	var wins []winMark
 	rawTotal := 0
-	windows := 0
 	for {
 		n, rerr := reader.Read(window)
 		if n > 0 {
-			windows++
 			rawTotal += n
+			consumed := len(blob)
+			if consumer != nil {
+				if consumed = consumer.InputConsumed(); consumed > len(blob) {
+					consumed = len(blob)
+				}
+			}
+			wins = append(wins, winMark{out: rawTotal, consumed: consumed})
 			chunk := window[:n]
 			for len(chunk) > 0 {
 				take := frameBytes - len(frameBuf)
@@ -363,34 +395,74 @@ func (c *Controller) configure(rec memory.Record, frames []int, br *sim.Breakdow
 		return err
 	}
 
-	// Timing of the configuration module. The module is double-buffered:
-	// while the port drains window k, the decompressor fills window k+1,
-	// so the steady state runs at the slower of the two and only the
-	// first window's fill is exposed. Bit-serial decoders (huffman) are
-	// slower than the byte-wide port and become the bottleneck; byte-rate
-	// decoders hide entirely behind the port. Charged as:
-	//
-	//	configure  = port stream time (the floor)
-	//	decompress = first-window fill + any decoder-over-port excess
-	//	overhead   = per-window buffer management on the MCU
+	// Timing of the configuration module. Stage totals first: the ROM
+	// delivers the whole blob, the decompressor expands every output
+	// byte, the port clocks in every frame packet.
+	windows := len(wins)
+	romCycles := memory.ReadCycles(len(blob))
 	decompCycles := uint64(float64(rawTotal)*codec.CyclesPerByte()) + 1
-	fillBytes := rawTotal
-	if c.cfg.WindowBytes < fillBytes {
-		fillBytes = c.cfg.WindowBytes
+
+	if c.cfg.SequentialConfig {
+		// Additive model: the three stages run back to back, window
+		// overlap disabled — the E18 baseline.
+		br.Add(sim.PhaseROM, c.mcuDom.Advance(romCycles))
+		br.Add(sim.PhaseDecompress, c.cfgDom.Advance(decompCycles))
+		br.Add(sim.PhaseConfigure, c.cfgDom.Advance(portCycles))
+	} else {
+		// Pipelined model (DESIGN §12): while the port clocks in window
+		// N, the decompressor produces N+1 and the ROM streams N+2. Each
+		// window's stage costs come from cumulative-delta splits of the
+		// stage totals (ROM by bytes consumed, decompress and port by
+		// bytes produced), so the per-window costs sum exactly to the
+		// totals and the critical path obeys the max-of-stages
+		// recurrence. Attribution: pipeline fill to PhaseROM and
+		// PhaseDecompress, port busy time to PhaseConfigure, bubbles to
+		// PhasePipeStall.
+		pipe := sim.NewPipeline(sim.PhaseROM, sim.PhaseDecompress, sim.PhaseConfigure)
+		var prevRom, prevDec, prevPort uint64
+		for i, w := range wins {
+			romCum := memory.ReadCycles(w.consumed)
+			decCum := uint64(float64(w.out) * codec.CyclesPerByte())
+			portCum := portCycles * uint64(w.out) / uint64(rawTotal)
+			if i == len(wins)-1 {
+				// The last window closes the books: whatever the decoder
+				// under-reported (bit reservoirs, buffered runs) lands here.
+				romCum, decCum, portCum = romCycles, decompCycles, portCycles
+			}
+			pipe.Feed(c.mcuDom.Span(romCum-prevRom), c.cfgDom.Span(decCum-prevDec), c.cfgDom.Span(portCum-prevPort))
+			prevRom, prevDec, prevPort = romCum, decCum, portCum
+		}
+		c.mcuDom.Advance(romCycles)
+		c.cfgDom.Advance(decompCycles + portCycles)
+		stall := pipe.Attribute(br)
+		c.notePipeline(rec.FnID, pipe, stall)
 	}
-	fillCycles := uint64(float64(fillBytes) * codec.CyclesPerByte())
-	exposed := fillCycles
-	if decompCycles > portCycles {
-		exposed += decompCycles - portCycles
-	}
-	br.Add(sim.PhaseDecompress, c.cfgDom.Advance(exposed))
-	br.Add(sim.PhaseConfigure, c.cfgDom.Advance(portCycles))
 	br.Add(sim.PhaseOverhead, c.mcuDom.Advance(uint64(windows)*8))
 
 	c.stats.FramesLoaded += uint64(len(frames))
 	c.stats.RawConfigBytes += uint64(rawTotal)
 	c.emit(trace.KindConfigure, rec.FnID, len(frames), rawTotal, codec.Name())
 	return nil
+}
+
+// notePipeline folds one pipelined load into the stats and telemetry:
+// windows fed, critical-path bubbles, overlap savings, and the peak
+// number of windows in flight. Observation is passive — every value is
+// computed before any metrics call.
+func (c *Controller) notePipeline(fn uint16, pipe *sim.Pipeline, stall sim.Time) {
+	saved := pipe.Saved()
+	c.stats.PipelinedLoads++
+	c.stats.PipeWindows += uint64(pipe.Items())
+	c.stats.PipeStallTime += stall
+	c.stats.PipeOverlapSaved += saved
+	if c.metrics == nil {
+		return
+	}
+	name := c.fnLabel(fn)
+	c.metrics.Counter("agile_pipe_windows_total", metrics.L("fn", name)).Add(uint64(pipe.Items()))
+	c.metrics.Counter("agile_pipe_stall_ps_total", metrics.L("fn", name)).Add(uint64(stall))
+	c.metrics.Counter("agile_pipe_overlap_saved_ps_total", metrics.L("fn", name)).Add(uint64(saved))
+	c.metrics.Gauge("agile_pipe_windows_in_flight_peak", metrics.L("fn", name)).Set(int64(pipe.PeakInFlight()))
 }
 
 // pushFrames wraps frame images in configuration packets and streams

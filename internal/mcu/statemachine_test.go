@@ -23,6 +23,8 @@ func TestMiniOSRandomOperations(t *testing.T) {
 		{Geometry: fpga.Geometry{Rows: 32, Cols: 24}, AllowScatter: true, DiffReload: true},
 		{Geometry: fpga.Geometry{Rows: 32, Cols: 24}, AllowScatter: true, Prefetch: true},
 		{Geometry: fpga.Geometry{Rows: 32, Cols: 24}, AllowScatter: true, DiffReload: true, Prefetch: true},
+		{Geometry: fpga.Geometry{Rows: 32, Cols: 24}, AllowScatter: true, SequentialConfig: true},
+		{Geometry: fpga.Geometry{Rows: 32, Cols: 24}, AllowScatter: true, DiffReload: true, Prefetch: true, SequentialConfig: true},
 	}
 	// A mixed-footprint subset that fits the 24-frame device one or two
 	// at a time.
@@ -31,7 +33,7 @@ func TestMiniOSRandomOperations(t *testing.T) {
 	}
 	for ci, cfg := range configs {
 		cfg := cfg
-		t.Run(fmt.Sprintf("cfg%d_scatter%v_diff%v_pf%v", ci, cfg.AllowScatter, cfg.DiffReload, cfg.Prefetch),
+		t.Run(fmt.Sprintf("cfg%d_scatter%v_diff%v_pf%v_seq%v", ci, cfg.AllowScatter, cfg.DiffReload, cfg.Prefetch, cfg.SequentialConfig),
 			func(t *testing.T) {
 				c := newController(t, cfg)
 				for _, f := range fns {

@@ -123,6 +123,7 @@ const (
 	PhaseDataOut                 // output-collection module fabric→RAM streaming
 	PhaseOverhead                // mini-OS bookkeeping (placement, tables)
 	PhaseCache                   // decoded-frame cache reads (RAM, not ROM+decode)
+	PhasePipeStall               // bubbles in the pipelined configuration path
 	// PhasePrefetch and PhaseScrub never appear in a request Breakdown —
 	// their cost is off-request by design (Stats.PrefetchTime,
 	// Stats.ScrubTime). They exist so the telemetry layer can label
@@ -135,7 +136,7 @@ const (
 
 var phaseNames = [numPhases]string{
 	"pci", "rom", "decompress", "configure", "datain", "exec", "dataout", "overhead", "cache",
-	"prefetch", "scrub",
+	"pipestall", "prefetch", "scrub",
 }
 
 // String returns the lower-case phase name.

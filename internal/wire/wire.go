@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -127,6 +128,37 @@ type Response struct {
 	Status  Status
 	Card    int16
 	Payload []byte
+}
+
+// bufPool recycles frame buffers across the encode (WriteRequest /
+// WriteResponse) and read (readFrame) hot paths. Both decoders copy the
+// payload out of the frame, so a buffer is safe to recycle the moment
+// its frame has been decoded or written. The pool stores *[]byte to
+// keep the slice header off the heap on every Put.
+var bufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getBuf fetches a pooled buffer with at least n bytes of capacity,
+// sliced to zero length.
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// putBuf returns a buffer to the pool. Oversized buffers are dropped so
+// one MaxPayload frame cannot pin 16 MiB for the process lifetime.
+func putBuf(bp *[]byte) {
+	if cap(*bp) <= 1<<20 {
+		bufPool.Put(bp)
+	}
 }
 
 // AppendRequest appends req's canonical encoding to dst.
@@ -237,7 +269,10 @@ func WriteRequest(w io.Writer, req *Request) error {
 	if len(req.Payload) > MaxPayload {
 		return ErrOversized
 	}
-	_, err := w.Write(AppendRequest(make([]byte, 0, lenPrefix+requestHeaderLen+len(req.Payload)), req))
+	bp := getBuf(lenPrefix + requestHeaderLen + len(req.Payload))
+	*bp = AppendRequest(*bp, req)
+	_, err := w.Write(*bp)
+	putBuf(bp)
 	return err
 }
 
@@ -246,13 +281,18 @@ func WriteResponse(w io.Writer, resp *Response) error {
 	if len(resp.Payload) > MaxPayload {
 		return ErrOversized
 	}
-	_, err := w.Write(AppendResponse(make([]byte, 0, lenPrefix+responseHeaderLen+len(resp.Payload)), resp))
+	bp := getBuf(lenPrefix + responseHeaderLen + len(resp.Payload))
+	*bp = AppendResponse(*bp, resp)
+	_, err := w.Write(*bp)
+	putBuf(bp)
 	return err
 }
 
-// readFrame reads one length-prefixed frame from r. The length prefix
-// is bounds-checked before the body allocation.
-func readFrame(r io.Reader, headerLen int) ([]byte, error) {
+// readFrame reads one length-prefixed frame from r into a pooled
+// buffer. The length prefix is bounds-checked before the body is sized.
+// The caller must putBuf the returned buffer once the frame is decoded
+// (both decoders copy the payload out, so recycling is safe).
+func readFrame(r io.Reader, headerLen int) (*[]byte, error) {
 	var prefix [lenPrefix]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		return nil, err // io.EOF at a frame boundary = clean close
@@ -264,35 +304,40 @@ func readFrame(r io.Reader, headerLen int) ([]byte, error) {
 	if frameLen < headerLen {
 		return nil, ErrTruncated
 	}
-	buf := make([]byte, lenPrefix+frameLen)
+	bp := getBuf(lenPrefix + frameLen)
+	buf := (*bp)[:lenPrefix+frameLen]
+	*bp = buf
 	copy(buf, prefix[:])
 	if _, err := io.ReadFull(r, buf[lenPrefix:]); err != nil {
+		putBuf(bp)
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrTruncated
 		}
 		return nil, err
 	}
-	return buf, nil
+	return bp, nil
 }
 
 // ReadRequest reads and decodes one request frame from r. A clean
 // close at a frame boundary returns io.EOF; a close mid-frame returns
 // ErrTruncated.
 func ReadRequest(r io.Reader) (*Request, error) {
-	buf, err := readFrame(r, requestHeaderLen)
+	bp, err := readFrame(r, requestHeaderLen)
 	if err != nil {
 		return nil, err
 	}
-	req, _, err := DecodeRequest(buf)
+	req, _, err := DecodeRequest(*bp)
+	putBuf(bp)
 	return req, err
 }
 
 // ReadResponse reads and decodes one response frame from r.
 func ReadResponse(r io.Reader) (*Response, error) {
-	buf, err := readFrame(r, responseHeaderLen)
+	bp, err := readFrame(r, responseHeaderLen)
 	if err != nil {
 		return nil, err
 	}
-	resp, _, err := DecodeResponse(buf)
+	resp, _, err := DecodeResponse(*bp)
+	putBuf(bp)
 	return resp, err
 }

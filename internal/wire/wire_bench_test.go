@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The wire benchmarks report allocations: the frame buffers on the
+// encode and read paths come from a sync.Pool, so steady-state
+// allocs/op must not scale with payload size (the decoders still copy
+// the payload out — that one allocation is the API contract).
+
+func benchPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*7 + 3)
+	}
+	return p
+}
+
+func BenchmarkWriteRequest(b *testing.B) {
+	req := &Request{ID: 42, Fn: 7, Payload: benchPayload(4096)}
+	b.ReportAllocs()
+	b.SetBytes(int64(lenPrefix + requestHeaderLen + len(req.Payload)))
+	for i := 0; i < b.N; i++ {
+		if err := WriteRequest(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteResponse(b *testing.B) {
+	resp := &Response{ID: 42, Status: StatusOK, Card: 1, Payload: benchPayload(4096)}
+	b.ReportAllocs()
+	b.SetBytes(int64(lenPrefix + responseHeaderLen + len(resp.Payload)))
+	for i := 0; i < b.N; i++ {
+		if err := WriteResponse(io.Discard, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadRequest(b *testing.B) {
+	frame := AppendRequest(nil, &Request{ID: 42, Fn: 7, Payload: benchPayload(4096)})
+	rd := bytes.NewReader(frame)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		rd.Reset(frame)
+		if _, err := ReadRequest(rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadResponse(b *testing.B) {
+	frame := AppendResponse(nil, &Response{ID: 42, Status: StatusOK, Card: 1, Payload: benchPayload(4096)})
+	rd := bytes.NewReader(frame)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		rd.Reset(frame)
+		if _, err := ReadResponse(rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTrip drives a full request+response round trip through
+// one in-memory buffer, the shape the server and client loops execute
+// per call.
+func BenchmarkRoundTrip(b *testing.B) {
+	req := &Request{ID: 42, Fn: 7, Payload: benchPayload(4096)}
+	resp := &Response{ID: 42, Status: StatusOK, Card: 0, Payload: benchPayload(4096)}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteRequest(&buf, req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadRequest(&buf); err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		if err := WriteResponse(&buf, resp); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadResponse(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
