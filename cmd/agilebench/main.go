@@ -1,6 +1,6 @@
 // agilebench regenerates the experiment tables of EXPERIMENTS.md: every
 // table and series the paper's evaluation implies plus the extension
-// studies (DESIGN.md §6, E1–E17).
+// studies (DESIGN.md §6, E1–E18 and E23).
 //
 // Usage:
 //
@@ -58,6 +58,15 @@ type benchFile struct {
 		ConcurrentFramesLoaded uint64  `json:"concurrent_frames_loaded"`
 		DecompCacheHits        uint64  `json:"decode_cache_hits"`
 	} `json:"throughput"`
+	NetPath struct {
+		Requests          int     `json:"requests"`
+		Concurrency       int     `json:"concurrency"`
+		BaselineOpsPerSec float64 `json:"baseline_ops_per_sec"`
+		MuxBatchOpsPerSec float64 `json:"mux_batch_ops_per_sec"`
+		Speedup           float64 `json:"speedup"`
+		BatchWindows      uint64  `json:"batch_windows"`
+		BatchedJobs       uint64  `json:"batched_jobs"`
+	} `json:"net_path"`
 }
 
 // writeJSON runs the selected experiments, timing each, and writes
@@ -103,6 +112,17 @@ func writeJSON(exps []exp.Experiment, path string) error {
 	out.Throughput.SerialFramesLoaded = r.SerialFramesLoaded
 	out.Throughput.ConcurrentFramesLoaded = r.ConcurrentFramesLoaded
 	out.Throughput.DecompCacheHits = r.DecompCacheHits
+	np, err := exp.RunE23(0, 0)
+	if err != nil {
+		return fmt.Errorf("e23 net path: %w", err)
+	}
+	out.NetPath.Requests = np.Requests
+	out.NetPath.Concurrency = np.Concurrency
+	out.NetPath.BaselineOpsPerSec = np.BaselineOpsPerSec
+	out.NetPath.MuxBatchOpsPerSec = np.MuxBatchOpsPerSec
+	out.NetPath.Speedup = np.Speedup
+	out.NetPath.BatchWindows = np.BatchWindows
+	out.NetPath.BatchedJobs = np.BatchedJobs
 	buf, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return err

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -51,6 +52,8 @@ func main() {
 	diff := flag.Bool("diff", false, "difference-based reconfiguration")
 	queue := flag.Int("queue", cluster.DefaultQueue, "per-card submission queue bound")
 	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight, "admitted requests across all connections")
+	batchWindow := flag.Int("batch-window", 0, "cross-client batching: coalesce up to this many same-function requests into one cluster batch (0/1 = off)")
+	batchDwell := flag.Duration("batch-dwell", server.DefaultBatchDwell, "cross-client batching: max wait for a window to fill before it flushes")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address, e.g. :9090")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 
@@ -58,10 +61,11 @@ func main() {
 	requests := flag.Int("requests", 10, "client mode: number of requests")
 	payload := flag.Int("payload", 64, "client mode: payload bytes per request")
 	timeout := flag.Duration("timeout", 5*time.Second, "client mode: per-request deadline")
+	concurrency := flag.Int("concurrency", 1, "client mode: concurrent in-flight requests (pipelined over the multiplexed pool)")
 	flag.Parse()
 
 	if *call != "" {
-		runClient(*addr, *call, *requests, *payload, *timeout)
+		runClient(*addr, *call, *requests, *payload, *concurrency, *timeout)
 		return
 	}
 
@@ -82,7 +86,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.New(cl, server.Options{MaxInflight: *maxInflight, Metrics: reg})
+	srv := server.New(cl, server.Options{
+		MaxInflight: *maxInflight,
+		BatchWindow: *batchWindow,
+		BatchDwell:  *batchDwell,
+		Metrics:     reg,
+	})
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
@@ -138,35 +147,51 @@ func main() {
 }
 
 // runClient is the -call mode: a burst of requests through the public
-// client API, with retries on overload.
-func runClient(addr, fn string, requests, payload int, timeout time.Duration) {
+// client API, with retries on overload. With -concurrency > 1 the
+// burst pipelines over the client's multiplexed connection pool.
+func runClient(addr, fn string, requests, payload, concurrency int, timeout time.Duration) {
 	c, err := agilefpga.Dial(addr, agilefpga.DialOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	if concurrency < 1 {
+		concurrency = 1
+	}
 	in := make([]byte, payload)
 	for i := range in {
 		in[i] = byte(i)
 	}
 	start := time.Now() //lint:wallclock client-mode smoke test measures real request latency
+	var mu sync.Mutex
 	var bytesOut int
 	cardSeen := make(map[int]int)
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
 	for i := 0; i < requests; i++ {
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		out, card, err := c.Call(ctx, fn, in)
-		cancel()
-		if err != nil {
-			log.Fatalf("request %d: %v", i, err)
-		}
-		if len(out) == 0 {
-			log.Fatalf("request %d: empty output", i)
-		}
-		bytesOut += len(out)
-		cardSeen[card]++
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			out, card, err := c.Call(ctx, fn, in)
+			cancel()
+			if err != nil {
+				log.Fatalf("request %d: %v", i, err)
+			}
+			if len(out) == 0 {
+				log.Fatalf("request %d: empty output", i)
+			}
+			mu.Lock()
+			bytesOut += len(out)
+			cardSeen[card]++
+			mu.Unlock()
+		}(i)
 	}
+	wg.Wait()
 	elapsed := time.Since(start) //lint:wallclock client-mode smoke test measures real request latency
-	fmt.Printf("%d × %s ok: %d B in/req, %d B out total, %.1f req/s, cards %v\n",
-		requests, fn, payload, bytesOut,
+	fmt.Printf("%d × %s ok (%d in flight): %d B in/req, %d B out total, %.1f req/s, cards %v\n",
+		requests, fn, concurrency, payload, bytesOut,
 		float64(requests)/elapsed.Seconds(), cardSeen)
 }

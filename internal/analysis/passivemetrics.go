@@ -18,14 +18,15 @@ const (
 // instrumented code path calls while recording: series constructors
 // and the mutating observation methods.
 var metricsObservationFuncs = map[string]bool{
-	"Counter":   true,
-	"Gauge":     true,
-	"Histogram": true,
-	"Observe":   true,
-	"Add":       true,
-	"Inc":       true,
-	"Dec":       true,
-	"Set":       true,
+	"Counter":       true,
+	"Gauge":         true,
+	"Histogram":     true,
+	"HistogramWith": true,
+	"Observe":       true,
+	"Add":           true,
+	"Inc":           true,
+	"Dec":           true,
+	"Set":           true,
 }
 
 // clockAdvancingFuncs are the internal/sim functions that move a

@@ -15,4 +15,8 @@ func observe(r *metrics.Registry, d *sim.Domain) {
 	r.Counter("agile_requests").Add(uint64(d.Advance(1))) // want `Advance advances virtual time`
 	h.Observe(d.Elapsed())
 	r.Gauge("agile_depth").Set(int64(d.Cycles()))
+	hw := r.HistogramWith("agile_window", metrics.SizeBuckets())
+	hw.Observe(t)                                           // legal: passive observation of a precomputed value
+	hw.Observe(d.Advance(2))                                // want `Advance advances virtual time`
+	r.HistogramWith("agile_bad", nil).Observe(d.Advance(3)) // want `Advance advances virtual time`
 }

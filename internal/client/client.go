@@ -1,6 +1,10 @@
 // Package client is the network counterpart of internal/server: a
-// pooled, retrying wire-protocol client. Calls borrow a pooled
-// connection (dialling on demand), carry the context deadline to the
+// multiplexing, retrying wire-protocol client. Concurrent Calls are
+// pipelined over a small pool of connections — each connection carries
+// many requests in flight, a dedicated reader goroutine demultiplexes
+// responses (which may arrive out of order) back to waiting calls by
+// request id, and new calls are routed to the connection with the
+// fewest requests in flight. Calls carry the context deadline to the
 // server as a relative budget, and retry transient failures —
 // RESOURCE_EXHAUSTED, UNAVAILABLE, and transport errors — with
 // jittered exponential backoff until the context or the retry budget
@@ -10,13 +14,16 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"agilefpga/internal/metrics"
 	"agilefpga/internal/wire"
 )
 
@@ -29,12 +36,16 @@ const (
 	DefaultMaxBackoff  = 500 * time.Millisecond
 )
 
+// ErrClosed is returned by Call after Close.
+var ErrClosed = errors.New("client: closed")
+
 // Options tunes the client. The zero value of every field selects a
 // default; MaxRetries < 0 disables retries.
 type Options struct {
-	// PoolSize bounds idle pooled connections (default 4). More
-	// concurrent calls than pool slots dial extra connections that are
-	// closed instead of pooled when they come back idle.
+	// PoolSize bounds multiplexed connections (default 4). Concurrent
+	// calls share connections — each connection pipelines many requests
+	// — so the pool never grows past PoolSize no matter the concurrency;
+	// new connections are dialled lazily while every live one is busy.
 	PoolSize int
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
@@ -54,6 +65,9 @@ type Options struct {
 	// reproducible in tests. Zero (the default) draws a random seed, so
 	// production clients stay desynchronised from one another.
 	JitterSeed uint64
+	// Metrics, if set, receives the client series: the
+	// agile_net_mux_inflight_per_conn gauge labelled by pool slot.
+	Metrics *metrics.Registry
 }
 
 // StatusError is a non-OK wire status answered by the server.
@@ -90,18 +104,108 @@ func retryable(err error) bool {
 	return false
 }
 
-// Client is a pooled connection to one server. Safe for concurrent use.
+// result is what the reader goroutine hands a waiting call.
+type result struct {
+	resp *wire.Response
+	err  error
+}
+
+// muxConn is one multiplexed connection: many calls in flight, one
+// reader goroutine routing responses back by request id.
+type muxConn struct {
+	c        net.Conn
+	slot     int           // pool index, for the per-conn gauge label
+	inflight atomic.Int64  // calls between register and settle
+	done     chan struct{} // closed when the reader exits
+
+	wmu sync.Mutex // serialises writes; a frame is never interleaved
+
+	mu      sync.Mutex
+	waiters map[uint64]chan result // in-flight request id → its call
+	err     error                  // set once the connection breaks
+}
+
+// register installs a waiter for id. The returned channel has capacity
+// one, so the reader's send never blocks even if the call abandons.
+func (m *muxConn) register(id uint64) (chan result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, m.err
+	}
+	ch := make(chan result, 1)
+	m.waiters[id] = ch
+	return ch, nil
+}
+
+// unregister abandons a waiter (context expiry, write failure). A late
+// response for the id is then legal and dropped by the reader.
+func (m *muxConn) unregister(id uint64) {
+	m.mu.Lock()
+	delete(m.waiters, id)
+	m.mu.Unlock()
+}
+
+// fail marks the connection broken and settles every outstanding
+// waiter with err. Sends happen outside the lock; each channel is
+// buffered and owned by exactly one waiter, so they cannot block.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	m.err = err
+	ws := m.waiters
+	m.waiters = nil
+	m.mu.Unlock()
+	for _, ch := range ws {
+		ch <- result{err: err}
+	}
+}
+
+// readLoop is the demultiplexer: it owns the read side of the
+// connection, routing each response to the waiter that registered its
+// id. Responses may arrive in any order — a slow request never blocks
+// a fast one behind it. On read error the connection is dead: it
+// leaves the pool and every outstanding call fails (retryably).
+func (m *muxConn) readLoop(drop func(*muxConn)) {
+	defer close(m.done)
+	for {
+		resp, err := wire.ReadResponse(m.c)
+		if err != nil {
+			drop(m)
+			m.c.Close()
+			m.fail(&TransportError{err})
+			return
+		}
+		m.mu.Lock()
+		ch := m.waiters[resp.ID]
+		delete(m.waiters, resp.ID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- result{resp: resp}
+		}
+		// Unknown id: the call abandoned its wait (context expiry) and a
+		// late answer arrived. Dropping it is the contract.
+	}
+}
+
+// Client multiplexes calls to one server over a bounded connection
+// pool. Safe for concurrent use.
 type Client struct {
 	addr   string
 	opts   Options
-	idle   chan net.Conn
 	nextID atomic.Uint64
 	rng    *rand.Rand
 	rngMu  sync.Mutex
-	closed atomic.Bool
+
+	dialMu sync.Mutex // serialises pool growth so a dial storm cannot overshoot
+
+	mu     sync.Mutex
+	conns  []*muxConn // fixed PoolSize slots; nil = not yet dialled
+	closed bool
+
+	gauges []*metrics.Gauge // per-slot inflight gauges (nil-safe)
 }
 
-// Dial validates the address by establishing (and pooling) one
+// Dial validates the address by establishing the first pooled
 // connection, and returns the client.
 func Dial(addr string, opts Options) (*Client, error) {
 	if opts.PoolSize <= 0 {
@@ -123,49 +227,107 @@ func Dial(addr string, opts Options) (*Client, error) {
 		opts.MaxBackoff = DefaultMaxBackoff
 	}
 	c := &Client{
-		addr: addr,
-		opts: opts,
-		idle: make(chan net.Conn, opts.PoolSize),
-		rng:  newJitterRNG(opts.JitterSeed),
+		addr:   addr,
+		opts:   opts,
+		conns:  make([]*muxConn, opts.PoolSize),
+		gauges: make([]*metrics.Gauge, opts.PoolSize),
+		rng:    newJitterRNG(opts.JitterSeed),
 	}
-	conn, err := c.dial()
-	if err != nil {
+	for i := range c.gauges {
+		c.gauges[i] = opts.Metrics.Gauge("agile_net_mux_inflight_per_conn",
+			metrics.L("conn", strconv.Itoa(i)))
+	}
+	if _, err := c.grow(); err != nil {
 		return nil, err
 	}
-	c.put(conn)
 	return c, nil
 }
 
-func (c *Client) dial() (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+// pick chooses the connection for a new call: the live connection with
+// the fewest requests in flight, dialling into an empty pool slot
+// first when every live connection is already busy.
+func (c *Client) pick() (*muxConn, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		var best *muxConn
+		hasEmpty := false
+		for _, m := range c.conns {
+			if m == nil {
+				hasEmpty = true
+				continue
+			}
+			if best == nil || m.inflight.Load() < best.inflight.Load() {
+				best = m
+			}
+		}
+		c.mu.Unlock()
+		if best != nil && (!hasEmpty || best.inflight.Load() == 0) {
+			return best, nil
+		}
+		m, err := c.grow()
+		if m != nil {
+			return m, nil
+		}
+		if err != nil {
+			if best != nil {
+				return best, nil // dial failed but a live conn can still carry the call
+			}
+			return nil, err
+		}
+		// grow lost a race (the pool filled meanwhile) — rescan.
+	}
+}
+
+// grow dials one connection into the first empty pool slot and starts
+// its reader. Returns (nil, nil) when the pool is already full.
+func (c *Client) grow() (*muxConn, error) {
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	c.mu.Lock()
+	slot := -1
+	for i, m := range c.conns {
+		if m == nil {
+			slot = i
+			break
+		}
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if slot < 0 {
+		return nil, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return nil, &TransportError{err}
 	}
-	return conn, nil
+	m := &muxConn{c: nc, slot: slot, done: make(chan struct{}), waiters: make(map[uint64]chan result)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		close(m.done)
+		return nil, ErrClosed
+	}
+	c.conns[slot] = m
+	c.mu.Unlock()
+	go m.readLoop(c.dropConn)
+	return m, nil
 }
 
-// get borrows an idle connection or dials a fresh one.
-func (c *Client) get() (net.Conn, error) {
-	select {
-	case conn := <-c.idle:
-		return conn, nil
-	default:
-		return c.dial()
+// dropConn frees a broken connection's pool slot so pick can redial.
+func (c *Client) dropConn(m *muxConn) {
+	c.mu.Lock()
+	if m.slot < len(c.conns) && c.conns[m.slot] == m {
+		c.conns[m.slot] = nil
 	}
-}
-
-// put returns a connection to the pool, closing it if the pool is full
-// or the client closed.
-func (c *Client) put(conn net.Conn) {
-	if c.closed.Load() {
-		conn.Close()
-		return
-	}
-	select {
-	case c.idle <- conn:
-	default:
-		conn.Close()
-	}
+	c.mu.Unlock()
 }
 
 // Call runs function fn over payload on the server, returning the
@@ -194,50 +356,60 @@ func (c *Client) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, i
 	}
 }
 
-// once is a single attempt over a single connection.
+// once is a single attempt, pipelined onto one multiplexed connection.
 func (c *Client) once(ctx context.Context, fn uint16, payload []byte) ([]byte, int, error) {
-	conn, err := c.get()
+	m, err := c.pick()
 	if err != nil {
 		return nil, -1, err
 	}
-	healthy := false
-	defer func() {
-		if healthy {
-			c.put(conn)
-		} else {
-			conn.Close()
-		}
-	}()
 	var budget time.Duration
-	if dl, ok := ctx.Deadline(); ok {
+	dl, hasDL := ctx.Deadline()
+	if hasDL {
 		budget = time.Until(dl) //lint:wallclock context deadlines are wall time; the budget shipped on the wire is relative
 		if budget <= 0 {
 			return nil, -1, context.DeadlineExceeded
 		}
-		conn.SetDeadline(dl)
-	} else {
-		conn.SetDeadline(time.Time{})
 	}
 	id := c.nextID.Add(1)
-	req := &wire.Request{ID: id, Fn: fn, Deadline: budget, Payload: payload}
-	if err := wire.WriteRequest(conn, req); err != nil {
-		return nil, -1, &TransportError{err}
-	}
-	resp, err := wire.ReadResponse(conn)
+	ch, err := m.register(id)
 	if err != nil {
-		return nil, -1, &TransportError{err}
+		return nil, -1, err // already a *TransportError from the reader
 	}
-	if resp.ID != id {
-		// The stream answered some other request — framing trust is
-		// gone, drop the connection.
-		return nil, -1, &TransportError{fmt.Errorf("response id %d for request %d", resp.ID, id)}
+	m.inflight.Add(1)
+	c.gauges[m.slot].Inc()
+	defer func() {
+		m.inflight.Add(-1)
+		c.gauges[m.slot].Dec()
+	}()
+	req := &wire.Request{ID: id, Fn: fn, Deadline: budget, Payload: payload}
+	m.wmu.Lock()
+	if hasDL {
+		m.c.SetWriteDeadline(dl)
+	} else {
+		m.c.SetWriteDeadline(time.Time{})
 	}
-	if resp.Status != wire.StatusOK {
-		healthy = true // protocol intact; only the request failed
-		return nil, int(resp.Card), &StatusError{Status: resp.Status, Msg: string(resp.Payload)}
+	werr := wire.WriteRequest(m.c, req)
+	m.wmu.Unlock()
+	if werr != nil {
+		m.unregister(id)
+		// The stream may hold a torn frame — framing trust is gone, so
+		// the connection dies; its reader reaps the other waiters.
+		m.c.Close()
+		return nil, -1, &TransportError{werr}
 	}
-	healthy = true
-	return resp.Payload, int(resp.Card), nil
+	select {
+	case <-ctx.Done():
+		m.unregister(id)
+		return nil, -1, ctx.Err()
+	case r := <-ch:
+		if r.err != nil {
+			return nil, -1, r.err
+		}
+		if r.resp.Status != wire.StatusOK {
+			return nil, int(r.resp.Card), &StatusError{Status: r.resp.Status, Msg: string(r.resp.Payload)}
+		}
+		return r.resp.Payload, int(r.resp.Card), nil
+	}
 }
 
 // newJitterRNG builds the backoff jitter PRNG. Seed 0 draws a random
@@ -271,18 +443,26 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Close closes pooled connections. In-flight calls on borrowed
-// connections finish; their connections are closed on return.
+// Close closes every pooled connection and waits for their readers to
+// exit. Calls still in flight settle with a transport error.
 func (c *Client) Close() error {
-	if c.closed.Swap(true) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
-	for {
-		select {
-		case conn := <-c.idle:
-			conn.Close()
-		default:
-			return nil
+	c.closed = true
+	conns := append([]*muxConn(nil), c.conns...)
+	c.mu.Unlock()
+	for _, m := range conns {
+		if m != nil {
+			m.c.Close()
 		}
 	}
+	for _, m := range conns {
+		if m != nil {
+			<-m.done
+		}
+	}
+	return nil
 }

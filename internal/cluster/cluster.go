@@ -324,6 +324,21 @@ type Pending struct {
 	res   *core.CallResult
 	card  int
 	err   error
+	// group, when non-nil, marks this Pending as a carrier for a
+	// same-function group submitted together (SubmitGroup): the carrier
+	// occupies one queue slot and the worker expands it into its
+	// children, which settle individually. A carrier itself never
+	// completes.
+	group []*Pending
+}
+
+// expand returns the jobs this queue entry stands for: the group's
+// children for a carrier, the entry itself otherwise.
+func (p *Pending) expand() []*Pending {
+	if p.group != nil {
+		return p.group
+	}
+	return []*Pending{p}
 }
 
 // Wait blocks until completion, returning the result and serving card.
@@ -388,11 +403,66 @@ func (cl *Cluster) SubmitContext(ctx context.Context, fnID uint16, input []byte,
 		return p
 	}
 	p.card = card
+	if err := cl.enqueue(ctx, card, p, wait); err != nil {
+		p.complete(nil, card, err)
+	}
+	return p
+}
+
+// SubmitGroup enqueues a group of same-function jobs as one queue
+// entry, served by the card worker as a single coalesced run (one
+// pipelined CallBatch when more than one job survives queue-time
+// expiry) — the cross-client batching entry point: the network
+// batcher collects requests from different connections and hands them
+// to the card's batch machinery in one hop, paying one queue slot and
+// one routing decision for the whole window. Each job keeps its own
+// context: a job whose deadline expires while queued is failed
+// individually, exactly as with per-job submissions (a nil ctxs entry
+// means no deadline; ctxs may be shorter than inputs). When wait is
+// false a full queue fails the whole group with ErrQueueFull; when
+// wait is true the first job's context bounds the blocking enqueue.
+// All failures surface through each child's Wait.
+func (cl *Cluster) SubmitGroup(ctxs []context.Context, fnID uint16, inputs [][]byte, wait bool) []*Pending {
+	children := make([]*Pending, len(inputs))
+	for i := range inputs {
+		ctx := context.Background()
+		if i < len(ctxs) && ctxs[i] != nil {
+			ctx = ctxs[i]
+		}
+		children[i] = &Pending{fn: fnID, input: inputs[i], ctx: ctx, done: make(chan struct{}), card: -1}
+	}
+	if len(children) == 0 {
+		return children
+	}
+	failAll := func(card int, err error) {
+		for _, c := range children {
+			c.complete(nil, card, err)
+		}
+	}
+	card, err := cl.route(fnID)
+	if err != nil {
+		failAll(-1, err)
+		return children
+	}
+	for _, c := range children {
+		c.card = card
+	}
+	carrier := &Pending{fn: fnID, card: card, group: children}
+	if err := cl.enqueue(children[0].ctx, card, carrier, wait); err != nil {
+		failAll(card, err)
+	}
+	return children
+}
+
+// enqueue places one queue entry — a single job or a group carrier —
+// on card's queue, honouring the stop handshake and the wait policy.
+// A non-nil return means the entry was not enqueued and the caller
+// must complete its pendings with the error.
+func (cl *Cluster) enqueue(ctx context.Context, card int, p *Pending, wait bool) error {
 	cl.stopMu.RLock()
 	defer cl.stopMu.RUnlock()
 	if cl.stopped {
-		p.complete(nil, card, ErrStopped)
-		return p
+		return ErrStopped
 	}
 	cl.startOnce.Do(cl.startWorkers)
 	if wait {
@@ -404,8 +474,7 @@ func (cl *Cluster) SubmitContext(ctx context.Context, fnID uint16, input []byte,
 		select {
 		case cl.queues[card] <- p:
 		case <-ctx.Done():
-			p.complete(nil, card, ctx.Err())
-			return p
+			return ctx.Err()
 		}
 	} else {
 		select {
@@ -414,15 +483,14 @@ func (cl *Cluster) SubmitContext(ctx context.Context, fnID uint16, input []byte,
 			if cl.metrics != nil {
 				cl.metrics.Counter("agile_cluster_rejected_total", cl.cardLabels[card]).Inc()
 			}
-			p.complete(nil, card, ErrQueueFull)
-			return p
+			return ErrQueueFull
 		}
 	}
 	if cl.metrics != nil {
-		cl.metrics.Counter("agile_cluster_submitted_total", cl.cardLabels[card]).Inc()
+		cl.metrics.Counter("agile_cluster_submitted_total", cl.cardLabels[card]).Add(uint64(len(p.expand())))
 		cl.metrics.Gauge("agile_cluster_queue_depth", cl.cardLabels[card]).Inc()
 	}
-	return p
+	return nil
 }
 
 // Close shuts the worker goroutines down and waits for queued work to
@@ -448,10 +516,14 @@ func (cl *Cluster) startWorkers() {
 	}
 }
 
-// worker drains one card's queue. Consecutive jobs for the same function
-// coalesce into a single double-buffered CallBatch, so an affinity-mode
-// cluster turns a run of same-function submissions into one resident
-// configuration and a pipelined burst.
+// worker drains one card's queue. Consecutive entries for the same
+// function coalesce into a single double-buffered CallBatch, so an
+// affinity-mode cluster turns a run of same-function submissions into
+// one resident configuration and a pipelined burst. Group carriers
+// expand into their children here: a cross-client batch window arrives
+// as one entry and joins the same coalescing machinery, so a group may
+// carry the run past the Coalesce cap (the cap bounds how many further
+// entries are folded, not a group's own size).
 func (cl *Cluster) worker(card int) {
 	defer cl.wg.Done()
 	q := cl.queues[card]
@@ -472,7 +544,7 @@ func (cl *Cluster) worker(card int) {
 			}
 			depth.Dec()
 		}
-		run := []*Pending{p}
+		run := append([]*Pending(nil), p.expand()...)
 	coalesce:
 		for len(run) < cl.opts.Coalesce {
 			select {
@@ -482,7 +554,7 @@ func (cl *Cluster) worker(card int) {
 				}
 				depth.Dec()
 				if next.fn == p.fn {
-					run = append(run, next)
+					run = append(run, next.expand()...)
 				} else {
 					held = next
 					break coalesce

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"agilefpga/internal/client"
+	"agilefpga/internal/cluster"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/sched"
+	"agilefpga/internal/server"
+)
+
+// E23 — network-path throughput. E16 measures the dispatcher under
+// direct in-process submission; this experiment measures the same
+// cluster behind the TCP edge, at a fan-in high enough that the edge
+// itself is the bottleneck. The baseline arm is the network path as it
+// stood before multiplexing: every concurrent caller owns one
+// connection and blocks on it for a full round trip, so hundreds of
+// connections each carry one request per RTT and every request pays
+// its own socket wakeup, goroutine handoff, and card-queue slot. The
+// mux+batch arm drives the identical workload through one multiplexing
+// client (concurrent calls pipelined over a 4-connection pool,
+// responses demultiplexed by request id) against a server with
+// cross-client batching on: same-function requests from different
+// connections coalesce into dwell-bounded windows, and each flushed
+// window rides a single queue slot as one coalesced run. The gap is
+// per-request overhead amortised — a window shares one enqueue, one
+// worker wakeup, and one configuration check across all its requests,
+// while the pooled connections replace per-caller socket churn — not
+// raw parallelism: both arms run the same concurrency against the
+// same cards.
+type E23Result struct {
+	Table Table
+	// Workload shape shared by both arms.
+	Requests    int
+	Concurrency int
+	// Wall-clock throughput of each arm, in requests per second.
+	BaselineOpsPerSec float64
+	MuxBatchOpsPerSec float64
+	// Speedup = mux+batch / baseline.
+	Speedup float64
+	// Behaviour behind the gap: refusals retried by clients, windows
+	// flushed by the batcher, and jobs the cards coalesced.
+	BaselineRetries   uint64
+	MuxBatchRetries   uint64
+	BatchWindows      uint64
+	BatchedJobs       uint64
+	BaselineCoalesced uint64
+	MuxBatchCoalesced uint64
+}
+
+// e23Arm boots a fresh cluster + server, drains jobs at the given
+// concurrency, and reports throughput plus the registry for forensics.
+// batchWindow ≤ 1 selects the baseline arm (no batching, one blocking
+// connection per worker); > 1 selects the mux+batch arm (one shared
+// multiplexing client, cross-client batching on).
+func e23Arm(jobs []sched.Job, concurrency, batchWindow int) (float64, uint64, *metrics.Registry, error) {
+	reg := metrics.NewRegistry()
+	cfg := core.Config{
+		Geometry:         fpga.Geometry{Rows: 32, Cols: 40},
+		DecodeCacheBytes: 1 << 20,
+		Metrics:          reg,
+	}
+	cl, err := cluster.New(2, cluster.ModeAffinity, cfg)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer cl.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	srv := server.New(cl, server.Options{
+		MaxInflight: 4 * concurrency,
+		BatchWindow: batchWindow,
+		BatchDwell:  500 * time.Microsecond,
+		Metrics:     reg,
+	})
+	serr := make(chan error, 1)
+	go func() { serr <- srv.Serve(ln) }()
+	defer func() { srv.Close(); <-serr }()
+	addr := ln.Addr().String()
+
+	var retries atomic.Uint64
+	copts := client.Options{
+		MaxRetries:  16,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		JitterSeed:  23,
+		OnRetry:     func(int, error) { retries.Add(1) },
+	}
+	// The baseline emulates the pre-multiplexing client: one connection
+	// per caller, at most one request in flight on it. The mux arm
+	// shares one client whose 4 connections pipeline everything.
+	var shared *client.Client
+	if batchWindow > 1 {
+		copts.PoolSize = 4
+		shared, err = client.Dial(addr, copts)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		defer shared.Close()
+	} else {
+		copts.PoolSize = 1
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, concurrency)
+	start := time.Now() //lint:wallclock E23 compares real network-path wall time across arms
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := shared
+			if c == nil {
+				own, err := client.Dial(addr, copts)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer own.Close()
+				c = own
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				out, _, err := c.Call(context.Background(), jobs[i].Fn, jobs[i].Input)
+				if err != nil {
+					errCh <- fmt.Errorf("exp: E23 job %d: %w", i, err)
+					return
+				}
+				if len(out) == 0 {
+					errCh <- fmt.Errorf("exp: E23 job %d: empty output", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start) //lint:wallclock E23 compares real network-path wall time across arms
+	select {
+	case err := <-errCh:
+		return 0, 0, nil, err
+	default:
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		return 0, 0, nil, err
+	}
+	return float64(len(jobs)) / elapsed.Seconds(), retries.Load(), reg, nil
+}
+
+// RunE23 executes the network-path comparison.
+func RunE23(requests, concurrency int) (*E23Result, error) {
+	if requests <= 0 {
+		requests = 4000
+	}
+	if concurrency <= 0 {
+		concurrency = 512
+	}
+	jobs, err := e16Jobs(requests)
+	if err != nil {
+		return nil, err
+	}
+	baseOps, baseRetries, baseReg, err := e23Arm(jobs, concurrency, 0)
+	if err != nil {
+		return nil, err
+	}
+	muxOps, muxRetries, muxReg, err := e23Arm(jobs, concurrency, 64)
+	if err != nil {
+		return nil, err
+	}
+	coalesced := func(reg *metrics.Registry) uint64 {
+		var n uint64
+		for _, card := range []string{"0", "1"} {
+			n += reg.Counter("agile_cluster_coalesced_jobs_total", metrics.L("card", card)).Value()
+		}
+		return n
+	}
+	res := &E23Result{
+		Requests:          requests,
+		Concurrency:       concurrency,
+		BaselineOpsPerSec: baseOps,
+		MuxBatchOpsPerSec: muxOps,
+		BaselineRetries:   baseRetries,
+		MuxBatchRetries:   muxRetries,
+		BatchWindows:      muxReg.Histogram("agile_net_batch_window_size").Count(),
+		BatchedJobs:       uint64(muxReg.Histogram("agile_net_batch_window_size").Sum()),
+		BaselineCoalesced: coalesced(baseReg),
+		MuxBatchCoalesced: coalesced(muxReg),
+	}
+	if res.BaselineOpsPerSec > 0 {
+		res.Speedup = res.MuxBatchOpsPerSec / res.BaselineOpsPerSec
+	}
+	res.Table = Table{
+		Title:  fmt.Sprintf("E23  Network-path throughput (%d requests, %d concurrent callers, Zipf, 2×40-frame cards)", requests, concurrency),
+		Header: []string{"arm", "ops/sec", "client retries", "batch windows", "batched jobs", "coalesced jobs"},
+	}
+	res.Table.AddRow("blocking conn-per-caller", fmt.Sprintf("%.0f", res.BaselineOpsPerSec),
+		res.BaselineRetries, uint64(0), uint64(0), res.BaselineCoalesced)
+	res.Table.AddRow("mux + cross-client batch", fmt.Sprintf("%.0f", res.MuxBatchOpsPerSec),
+		res.MuxBatchRetries, res.BatchWindows, res.BatchedJobs, res.MuxBatchCoalesced)
+	res.Table.Caption = fmt.Sprintf("speedup %.2fx — a flushed window costs one card-queue slot and one configuration check for the whole batch", res.Speedup)
+	return res, nil
+}

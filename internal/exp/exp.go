@@ -88,6 +88,10 @@ func All() []Experiment {
 			r, err := RunE18()
 			return tableOf(r, err)
 		}},
+		{"e23", "Network-path throughput (mux + cross-client batching)", func() (*Table, error) {
+			r, err := RunE23(4000, 512)
+			return tableOf(r, err)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return expNum(exps[i].ID) < expNum(exps[j].ID) })
 	return exps
@@ -139,3 +143,4 @@ func (r *E14Result) table() *Table { return &r.Table }
 func (r *E15Result) table() *Table { return &r.Table }
 func (r *E16Result) table() *Table { return &r.Table }
 func (r *E18Result) table() *Table { return &r.Table }
+func (r *E23Result) table() *Table { return &r.Table }

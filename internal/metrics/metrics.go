@@ -111,6 +111,14 @@ func DefaultLatencyBuckets() []sim.Time {
 	}
 }
 
+// SizeBuckets covers count-valued histograms (batch window sizes,
+// queue occupancies): powers of two from 1 to 1024, stored in the same
+// sim.Time bucket machinery the latency histograms use — one raw unit
+// per counted item, no time semantics.
+func SizeBuckets() []sim.Time {
+	return []sim.Time{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}
+
 // Observe records one virtual-time sample. Safe on a nil receiver.
 func (h *Histogram) Observe(t sim.Time) {
 	if h == nil {
@@ -201,8 +209,9 @@ func seriesKey(name string, labels []Label) (string, []Label) {
 }
 
 // lookup finds or creates a series, taking only a read lock on the hot
-// (already registered) path.
-func (r *Registry) lookup(name string, labels []Label, kind seriesKind) *series {
+// (already registered) path. bounds applies only to histogram creation
+// (nil = DefaultLatencyBuckets) and is ignored once the series exists.
+func (r *Registry) lookup(name string, labels []Label, kind seriesKind, bounds []sim.Time) *series {
 	key, sorted := seriesKey(name, labels)
 	r.mu.RLock()
 	s := r.series[key]
@@ -222,7 +231,9 @@ func (r *Registry) lookup(name string, labels []Label, kind seriesKind) *series 
 	case kindGauge:
 		s.gauge = &Gauge{}
 	case kindHistogram:
-		bounds := DefaultLatencyBuckets()
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets()
+		}
 		s.hist = &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
 	}
 	r.series[key] = s
@@ -238,7 +249,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, labels, kindCounter)
+	s := r.lookup(name, labels, kindCounter, nil)
 	if s.kind != kindCounter {
 		return nil
 	}
@@ -251,7 +262,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, labels, kindGauge)
+	s := r.lookup(name, labels, kindGauge, nil)
 	if s.kind != kindGauge {
 		return nil
 	}
@@ -265,7 +276,23 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, labels, kindHistogram)
+	s := r.lookup(name, labels, kindHistogram, nil)
+	if s.kind != kindHistogram {
+		return nil
+	}
+	return s.hist
+}
+
+// HistogramWith is Histogram with explicit bucket bounds (ascending
+// upper edges), for series whose values are not latencies — batch
+// window sizes, occupancies. Bounds apply only when the series is
+// created; later lookups return the existing histogram unchanged, so
+// every call site of one series should pass the same bounds.
+func (r *Registry) HistogramWith(name string, bounds []sim.Time, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, kindHistogram, bounds)
 	if s.kind != kindHistogram {
 		return nil
 	}

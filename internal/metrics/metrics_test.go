@@ -84,6 +84,33 @@ func TestHistogramObserveAndQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramWithCustomBuckets pins the count-valued histogram path:
+// SizeBuckets bounds resolve sizes exactly (each power of two is its
+// own upper edge), and the bounds stick on first registration.
+func TestHistogramWithCustomBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("batch_window", SizeBuckets())
+	for _, n := range []int{1, 1, 8, 8, 8, 32} {
+		h.Observe(sim.Time(n))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Count != 6 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := snap[0].Bounds[0]; got != 1 {
+		t.Fatalf("first bound = %v, want 1", got)
+	}
+	// Bucket counts: ≤1 holds 2, (4,8] holds 3, (16,32] holds 1.
+	if snap[0].Buckets[0] != 2 || snap[0].Buckets[3] != 3 || snap[0].Buckets[5] != 1 {
+		t.Fatalf("buckets = %v", snap[0].Buckets)
+	}
+	// A later default-bounds lookup of the same series must return the
+	// same histogram, not re-bucket it.
+	if h2 := r.Histogram("batch_window"); h2 != h {
+		t.Fatal("second lookup returned a different histogram")
+	}
+}
+
 func TestQuantileSpreadIsMonotone(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat")

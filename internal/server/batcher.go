@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"agilefpga/internal/cluster"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/wire"
+)
+
+// batcher coalesces admitted same-function requests from different
+// connections into one cluster submission. Each function id has at
+// most one open window: the first request opens it and arms a dwell
+// timer, later requests join it, and the window flushes when it
+// reaches BatchWindow entries or the dwell expires — whichever comes
+// first. A flushed window becomes one cluster.SubmitGroup call, so the
+// whole cross-client batch rides a single card-queue slot and executes
+// as one coalesced run (one configuration check, one batch id).
+//
+// Dwell is wall-clock by design: it bounds real latency added to real
+// network requests, the same domain the server's other timers live in.
+// The simulation's virtual clocks are never involved.
+type batcher struct {
+	cl     *cluster.Cluster
+	window int           // flush at this many entries
+	dwell  time.Duration // flush this long after the first entry
+	reg    *metrics.Registry
+
+	mu   sync.Mutex
+	open map[uint16]*batchWin
+}
+
+// batchWin is one open window: parallel slices of the joined requests.
+type batchWin struct {
+	fn      uint16
+	timer   *time.Timer
+	started time.Time
+	ctxs    []context.Context
+	inputs  [][]byte
+	outs    []chan *cluster.Pending
+	flushed bool
+}
+
+func newBatcher(cl *cluster.Cluster, window int, dwell time.Duration, reg *metrics.Registry) *batcher {
+	return &batcher{cl: cl, window: window, dwell: dwell, reg: reg, open: make(map[uint16]*batchWin)}
+}
+
+// submit joins (or opens) the window for req's function and blocks
+// until the window flushes — at most dwell — returning the pending
+// that carries this request's slot in the group. The request's payload
+// is aliased, not copied: it stays valid because the caller holds the
+// frame until the pending settles.
+func (b *batcher) submit(ctx context.Context, req *wire.Request) *cluster.Pending {
+	ch := make(chan *cluster.Pending, 1)
+	b.mu.Lock()
+	w := b.open[req.Fn]
+	if w == nil {
+		w = &batchWin{fn: req.Fn, started: time.Now()} //lint:wallclock dwell bounds real client-visible latency at the network edge
+		b.open[req.Fn] = w
+		w.timer = time.AfterFunc(b.dwell, func() { b.flush(w) }) //lint:wallclock see above
+	}
+	w.ctxs = append(w.ctxs, ctx)
+	w.inputs = append(w.inputs, req.Payload)
+	w.outs = append(w.outs, ch)
+	full := len(w.outs) >= b.window
+	b.mu.Unlock()
+	if full {
+		b.flush(w)
+	}
+	return <-ch
+}
+
+// flush closes the window and submits it as one group. Idempotent: the
+// size trigger and the dwell timer may race, and exactly one wins.
+func (b *batcher) flush(w *batchWin) {
+	b.mu.Lock()
+	if w.flushed {
+		b.mu.Unlock()
+		return
+	}
+	w.flushed = true
+	if b.open[w.fn] == w {
+		delete(b.open, w.fn)
+	}
+	w.timer.Stop()
+	ctxs, inputs, outs := w.ctxs, w.inputs, w.outs
+	dwell := time.Since(w.started) //lint:wallclock dwell bounds real client-visible latency at the network edge
+	b.mu.Unlock()
+	if b.reg != nil {
+		b.reg.HistogramWith("agile_net_batch_window_size", metrics.SizeBuckets()).
+			Observe(sim.Time(len(outs)))
+		b.reg.Counter("agile_net_batch_dwell_ps_total").Add(uint64(dwell.Nanoseconds()) * 1000)
+	}
+	pendings := b.cl.SubmitGroup(ctxs, w.fn, inputs, false)
+	for i, ch := range outs {
+		ch <- pendings[i]
+	}
+}

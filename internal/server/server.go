@@ -43,6 +43,10 @@ import (
 // Options.MaxInflight is zero.
 const DefaultMaxInflight = 64
 
+// DefaultBatchDwell is the batching window's dwell bound when
+// Options.BatchWindow enables batching but BatchDwell is zero.
+const DefaultBatchDwell = 200 * time.Microsecond
+
 // ErrServerClosed is returned by Serve after Shutdown or Close.
 var ErrServerClosed = errors.New("server: closed")
 
@@ -53,6 +57,17 @@ type Options struct {
 	// (default DefaultMaxInflight). Excess requests are refused with
 	// StatusResourceExhausted.
 	MaxInflight int
+	// BatchWindow, when > 1, enables cross-client coalescing: up to
+	// BatchWindow admitted same-function requests — from any mix of
+	// connections — are collected into one window and submitted to the
+	// cluster as a single batch, so the whole window shares one card
+	// queue slot, one configuration check and one coalesced run.
+	// 0 or 1 (the default) dispatches each request individually.
+	BatchWindow int
+	// BatchDwell bounds how long the first request of a window waits
+	// for company before the window flushes anyway (default
+	// DefaultBatchDwell). Only meaningful with BatchWindow > 1.
+	BatchDwell time.Duration
 	// Metrics receives the server series (nil = no recording).
 	Metrics *metrics.Registry
 	// Trace receives one span per request, carrying the request id,
@@ -62,9 +77,10 @@ type Options struct {
 
 // Server serves wire-protocol requests by dispatching onto a cluster.
 type Server struct {
-	cl   *cluster.Cluster
-	opts Options
-	sem  chan struct{}
+	cl    *cluster.Cluster
+	opts  Options
+	sem   chan struct{}
+	batch *batcher // nil unless Options.BatchWindow > 1
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -87,12 +103,19 @@ func New(cl *cluster.Cluster, opts Options) *Server {
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = DefaultMaxInflight
 	}
-	return &Server{
+	if opts.BatchDwell <= 0 {
+		opts.BatchDwell = DefaultBatchDwell
+	}
+	s := &Server{
 		cl:    cl,
 		opts:  opts,
 		sem:   make(chan struct{}, opts.MaxInflight),
 		conns: make(map[net.Conn]struct{}),
 	}
+	if opts.BatchWindow > 1 {
+		s.batch = newBatcher(cl, opts.BatchWindow, opts.BatchDwell, opts.Metrics)
+	}
+	return s
 }
 
 // Serve accepts connections on ln until Shutdown or Close, then
@@ -139,9 +162,14 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // handleConn reads frames off one connection. Requests are handled
-// concurrently (a connection may pipeline); responses serialise through
-// one write lock. A protocol error poisons the stream — framing is lost
-// — so the connection closes.
+// concurrently (a connection may pipeline requests and receive the
+// responses out of order); responses serialise through one write lock.
+// Request payloads are zero-copy: each frame's payload aliases a
+// pooled read buffer that is held until that request's response is
+// written, so pipelined bytes flow from the socket into the cluster
+// without an intermediate copy. A protocol error — broken framing, or
+// a request id already in flight on this connection — poisons the
+// stream, so the connection closes.
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWG.Done()
 	defer func() {
@@ -164,15 +192,41 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		bw.Flush()
 	}
+	var idMu sync.Mutex
+	ids := make(map[uint64]struct{}) // request ids currently in flight on this conn
 	for {
-		req, err := wire.ReadRequest(br)
+		req := new(wire.Request)
+		fr, err := wire.ReadRequestFrame(br, req)
 		if err != nil {
 			if s.opts.Metrics != nil && !errors.Is(err, net.ErrClosed) {
 				s.opts.Metrics.Counter("agile_server_decode_errors_total").Inc()
 			}
 			return
 		}
-		s.handleRequest(req, write)
+		idMu.Lock()
+		_, dup := ids[req.ID]
+		if !dup {
+			ids[req.ID] = struct{}{}
+		}
+		idMu.Unlock()
+		if dup {
+			// Two in-flight requests with one id would make the response
+			// stream ambiguous — a protocol error, answered explicitly
+			// (never a hang) and fatal to the connection.
+			fr.Release()
+			if s.opts.Metrics != nil {
+				s.opts.Metrics.Counter("agile_server_protocol_errors_total").Inc()
+			}
+			s.refuse(req, write, wire.StatusInvalidArgument,
+				fmt.Sprintf("request id %d already in flight on this connection", req.ID))
+			return
+		}
+		finish := func() {
+			idMu.Lock()
+			delete(ids, req.ID)
+			idMu.Unlock()
+		}
+		s.handleRequest(req, fr, write, finish)
 	}
 }
 
@@ -180,11 +234,13 @@ func (s *Server) handleConn(c net.Conn) {
 // its own goroutine. The draining check, semaphore acquisition and
 // in-flight registration happen atomically under mu so Shutdown's
 // drain wait cannot race a late admission.
-func (s *Server) handleRequest(req *wire.Request, write func(*wire.Response)) {
+func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wire.Response), finish func()) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.refuse(req, write, wire.StatusUnavailable, "server draining")
+		finish()
+		fr.Release()
 		return
 	}
 	select {
@@ -193,6 +249,8 @@ func (s *Server) handleRequest(req *wire.Request, write func(*wire.Response)) {
 		s.mu.Unlock()
 		s.refuse(req, write, wire.StatusResourceExhausted,
 			fmt.Sprintf("server at capacity (%d in flight)", cap(s.sem)))
+		finish()
+		fr.Release()
 		return
 	}
 	s.inflight.Add(1)
@@ -222,6 +280,10 @@ func (s *Server) handleRequest(req *wire.Request, write func(*wire.Response)) {
 		start := time.Now() //lint:wallclock served latency is wall time seen by network clients
 		status, card, payload := s.execute(ctx, req)
 		write(&wire.Response{ID: req.ID, Status: status, Card: card, Payload: payload})
+		// The response is on the wire: the id may be reused and the
+		// request's read buffer (aliased by its payload) recycled.
+		finish()
+		fr.Release()
 		s.observe(req, status, card, time.Since(start)) //lint:wallclock served latency is wall time seen by network clients
 	}()
 }
@@ -238,7 +300,12 @@ func (s *Server) execute(ctx context.Context, req *wire.Request) (wire.Status, i
 	if len(req.Payload) == 0 {
 		return wire.StatusInvalidArgument, -1, []byte("empty payload")
 	}
-	p := s.cl.SubmitContext(ctx, req.Fn, req.Payload, false)
+	var p *cluster.Pending
+	if s.batch != nil {
+		p = s.batch.submit(ctx, req)
+	} else {
+		p = s.cl.SubmitContext(ctx, req.Fn, req.Payload, false)
+	}
 	select {
 	case <-p.Done():
 	case <-ctx.Done():

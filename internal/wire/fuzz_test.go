@@ -31,6 +31,14 @@ func FuzzDecodeRequest(f *testing.F) {
 	// A header whose payload length claims MaxPayload+1 bytes: the
 	// decoder must reject on the claimed length, before allocating.
 	f.Add(oversizedHeader(TypeRequest))
+	// Pipelined streams, the shapes a multiplexing client produces:
+	// interleaved ids back to back, the same id twice in flight (the
+	// server must reject the duplicate, the decoder must still parse
+	// each frame), and a stream cut mid-way through the second frame.
+	f.Add(pipelined(1, 2))
+	f.Add(pipelined(9, 9))
+	two := pipelined(3, 4)
+	f.Add(two[:len(two)-5])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, n, err := DecodeRequest(data)
@@ -71,6 +79,13 @@ func FuzzDecodeResponse(f *testing.F) {
 	// frame type.
 	f.Add(AppendRequest(nil, &Request{ID: 9, Fn: 2, Payload: []byte("abc")}))
 	f.Add(oversizedHeader(TypeResponse))
+	// Out-of-order pipelined responses: interleaved ids, a duplicated
+	// id (a demuxing client drops the unmatched one), and a stream cut
+	// mid-way through the second frame.
+	f.Add(pipelinedResponses(2, 1))
+	f.Add(pipelinedResponses(6, 6))
+	two := pipelinedResponses(7, 8)
+	f.Add(two[:len(two)-5])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, n, err := DecodeResponse(data)
@@ -91,6 +106,21 @@ func FuzzDecodeResponse(f *testing.F) {
 			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data[:n], reenc)
 		}
 	})
+}
+
+// pipelined concatenates two request frames carrying the given ids —
+// the on-wire shape of a multiplexed connection with two calls in
+// flight.
+func pipelined(id1, id2 uint64) []byte {
+	b := AppendRequest(nil, &Request{ID: id1, Fn: 2, Deadline: time.Second, Payload: []byte("one")})
+	return AppendRequest(b, &Request{ID: id2, Fn: 3, Payload: []byte("two")})
+}
+
+// pipelinedResponses concatenates two response frames carrying the
+// given ids — responses arriving out of submission order.
+func pipelinedResponses(id1, id2 uint64) []byte {
+	b := AppendResponse(nil, &Response{ID: id1, Status: StatusOK, Card: 0, Payload: []byte("one")})
+	return AppendResponse(b, &Response{ID: id2, Status: StatusOK, Card: 1, Payload: []byte("two")})
 }
 
 // oversizedHeader builds a frame header of the given type whose payload

@@ -131,9 +131,10 @@ type Response struct {
 }
 
 // bufPool recycles frame buffers across the encode (WriteRequest /
-// WriteResponse) and read (readFrame) hot paths. Both decoders copy the
-// payload out of the frame, so a buffer is safe to recycle the moment
-// its frame has been decoded or written. The pool stores *[]byte to
+// WriteResponse) and read (readFrame) hot paths. The copying decoders
+// free a buffer the moment its frame has been decoded or written; the
+// zero-copy readers hand the buffer out as a Frame whose payload stays
+// aliased until the caller Releases it. The pool stores *[]byte to
 // keep the slice header off the heap on every Put.
 var bufPool = sync.Pool{
 	New: func() interface{} {
@@ -216,51 +217,76 @@ func checkFrame(b []byte, wantType byte, headerLen int) ([]byte, error) {
 	return body, nil
 }
 
-// DecodeRequest decodes one request frame from the front of b,
-// returning the bytes consumed. An incomplete buffer yields
-// ErrTruncated, so stream decoders can read more and retry.
-func DecodeRequest(b []byte) (*Request, int, error) {
+// DecodeRequestInto decodes one request frame from the front of b into
+// *req without copying: req.Payload aliases b, so the frame buffer must
+// outlive every use of the payload. It returns the bytes consumed. An
+// incomplete buffer yields ErrTruncated, so stream decoders can read
+// more and retry.
+func DecodeRequestInto(req *Request, b []byte) (int, error) {
 	body, err := checkFrame(b, TypeRequest, requestHeaderLen)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	payLen := int(binary.BigEndian.Uint32(body[22:26]))
 	if payLen != len(body)-requestHeaderLen {
-		return nil, 0, fmt.Errorf("%w: header says %d, frame carries %d",
+		return 0, fmt.Errorf("%w: header says %d, frame carries %d",
 			ErrLengthMismatch, payLen, len(body)-requestHeaderLen)
 	}
 	dlNs := binary.BigEndian.Uint64(body[14:22])
 	if dlNs > math.MaxInt64 {
-		return nil, 0, ErrBadDeadline
+		return 0, ErrBadDeadline
 	}
-	req := &Request{
-		ID:       binary.BigEndian.Uint64(body[4:12]),
-		Fn:       binary.BigEndian.Uint16(body[12:14]),
-		Deadline: time.Duration(dlNs),
-		Payload:  append([]byte(nil), body[requestHeaderLen:]...),
-	}
-	return req, lenPrefix + len(body), nil
+	req.ID = binary.BigEndian.Uint64(body[4:12])
+	req.Fn = binary.BigEndian.Uint16(body[12:14])
+	req.Deadline = time.Duration(dlNs)
+	req.Payload = body[requestHeaderLen:]
+	return lenPrefix + len(body), nil
 }
 
-// DecodeResponse decodes one response frame from the front of b,
-// returning the bytes consumed.
-func DecodeResponse(b []byte) (*Response, int, error) {
-	body, err := checkFrame(b, TypeResponse, responseHeaderLen)
+// DecodeRequest decodes one request frame from the front of b,
+// returning the bytes consumed. The payload is copied out of b, so the
+// request owns its memory (the zero-copy variant is DecodeRequestInto).
+func DecodeRequest(b []byte) (*Request, int, error) {
+	var req Request
+	n, err := DecodeRequestInto(&req, b)
 	if err != nil {
 		return nil, 0, err
 	}
+	req.Payload = append([]byte(nil), req.Payload...)
+	return &req, n, nil
+}
+
+// DecodeResponseInto decodes one response frame from the front of b
+// into *resp without copying: resp.Payload aliases b. It returns the
+// bytes consumed.
+func DecodeResponseInto(resp *Response, b []byte) (int, error) {
+	body, err := checkFrame(b, TypeResponse, responseHeaderLen)
+	if err != nil {
+		return 0, err
+	}
 	payLen := int(binary.BigEndian.Uint32(body[15:19]))
 	if payLen != len(body)-responseHeaderLen {
-		return nil, 0, fmt.Errorf("%w: header says %d, frame carries %d",
+		return 0, fmt.Errorf("%w: header says %d, frame carries %d",
 			ErrLengthMismatch, payLen, len(body)-responseHeaderLen)
 	}
-	resp := &Response{
-		ID:      binary.BigEndian.Uint64(body[4:12]),
-		Status:  Status(body[12]),
-		Card:    int16(binary.BigEndian.Uint16(body[13:15])),
-		Payload: append([]byte(nil), body[responseHeaderLen:]...),
+	resp.ID = binary.BigEndian.Uint64(body[4:12])
+	resp.Status = Status(body[12])
+	resp.Card = int16(binary.BigEndian.Uint16(body[13:15]))
+	resp.Payload = body[responseHeaderLen:]
+	return lenPrefix + len(body), nil
+}
+
+// DecodeResponse decodes one response frame from the front of b,
+// returning the bytes consumed. The payload is copied out of b (the
+// zero-copy variant is DecodeResponseInto).
+func DecodeResponse(b []byte) (*Response, int, error) {
+	var resp Response
+	n, err := DecodeResponseInto(&resp, b)
+	if err != nil {
+		return nil, 0, err
 	}
-	return resp, lenPrefix + len(body), nil
+	resp.Payload = append([]byte(nil), resp.Payload...)
+	return &resp, n, nil
 }
 
 // WriteRequest writes req to w as a single Write call, so a net.Conn
@@ -293,21 +319,31 @@ func WriteResponse(w io.Writer, resp *Response) error {
 // The caller must putBuf the returned buffer once the frame is decoded
 // (both decoders copy the payload out, so recycling is safe).
 func readFrame(r io.Reader, headerLen int) (*[]byte, error) {
-	var prefix [lenPrefix]byte
-	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+	// The prefix is read straight into the pooled buffer: a local
+	// array would escape through the io.Reader interface and cost an
+	// allocation per frame.
+	bp := getBuf(lenPrefix)
+	if _, err := io.ReadFull(r, (*bp)[:lenPrefix]); err != nil {
+		putBuf(bp)
 		return nil, err // io.EOF at a frame boundary = clean close
 	}
-	frameLen := int(binary.BigEndian.Uint32(prefix[:]))
+	frameLen := int(binary.BigEndian.Uint32((*bp)[:lenPrefix]))
 	if frameLen > headerLen+MaxPayload {
+		putBuf(bp)
 		return nil, ErrOversized
 	}
 	if frameLen < headerLen {
+		putBuf(bp)
 		return nil, ErrTruncated
 	}
-	bp := getBuf(lenPrefix + frameLen)
-	buf := (*bp)[:lenPrefix+frameLen]
+	total := lenPrefix + frameLen
+	if cap(*bp) < total {
+		grown := make([]byte, total)
+		copy(grown, (*bp)[:lenPrefix])
+		*bp = grown
+	}
+	buf := (*bp)[:total]
 	*bp = buf
-	copy(buf, prefix[:])
 	if _, err := io.ReadFull(r, buf[lenPrefix:]); err != nil {
 		putBuf(bp)
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
@@ -318,9 +354,58 @@ func readFrame(r io.Reader, headerLen int) (*[]byte, error) {
 	return bp, nil
 }
 
+// Frame is a handle on a pooled frame buffer whose bytes a zero-copy
+// decode still references. Release returns the buffer to the pool; the
+// aliased payload must not be used afterwards. The zero Frame is valid
+// and Release on it is a no-op, so error paths need no nil checks.
+type Frame struct {
+	bp *[]byte
+}
+
+// Release recycles the frame buffer. Call exactly once, after the last
+// use of any payload that aliases it.
+func (f Frame) Release() {
+	if f.bp != nil {
+		putBuf(f.bp)
+	}
+}
+
+// ReadRequestFrame reads and decodes one request frame from r into
+// *req without copying the payload: req.Payload aliases the returned
+// Frame's pooled buffer, which the caller must Release once the payload
+// is no longer referenced (for a served request, after the response is
+// written). This is the zero-allocation read path the server runs per
+// request.
+func ReadRequestFrame(r io.Reader, req *Request) (Frame, error) {
+	bp, err := readFrame(r, requestHeaderLen)
+	if err != nil {
+		return Frame{}, err
+	}
+	if _, err := DecodeRequestInto(req, *bp); err != nil {
+		putBuf(bp)
+		return Frame{}, err
+	}
+	return Frame{bp: bp}, nil
+}
+
+// ReadResponseFrame is the response-side zero-copy read:
+// resp.Payload aliases the returned Frame until Release.
+func ReadResponseFrame(r io.Reader, resp *Response) (Frame, error) {
+	bp, err := readFrame(r, responseHeaderLen)
+	if err != nil {
+		return Frame{}, err
+	}
+	if _, err := DecodeResponseInto(resp, *bp); err != nil {
+		putBuf(bp)
+		return Frame{}, err
+	}
+	return Frame{bp: bp}, nil
+}
+
 // ReadRequest reads and decodes one request frame from r. A clean
 // close at a frame boundary returns io.EOF; a close mid-frame returns
-// ErrTruncated.
+// ErrTruncated. The payload is copied, so the request owns its memory
+// (the zero-copy variant is ReadRequestFrame).
 func ReadRequest(r io.Reader) (*Request, error) {
 	bp, err := readFrame(r, requestHeaderLen)
 	if err != nil {

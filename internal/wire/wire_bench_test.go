@@ -8,8 +8,10 @@ import (
 
 // The wire benchmarks report allocations: the frame buffers on the
 // encode and read paths come from a sync.Pool, so steady-state
-// allocs/op must not scale with payload size (the decoders still copy
-// the payload out — that one allocation is the API contract).
+// allocs/op must not scale with payload size. The copying decoders
+// still pay one payload allocation (their API contract: the caller
+// owns the result); the RequestPath benchmarks drive the zero-copy
+// Frame variants, which must hold 0 allocs/op end to end.
 
 func benchPayload(n int) []byte {
 	p := make([]byte, n)
@@ -64,6 +66,61 @@ func BenchmarkReadResponse(b *testing.B) {
 		if _, err := ReadResponse(rd); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServerRequestPath is the server's per-request wire work,
+// end to end: read a request zero-copy, hand the aliased payload
+// onward (the cluster submit boundary), answer with a response whose
+// payload needs no staging copy, and release the frame. The whole path
+// must stay at 0 allocs/op — the acceptance bar the CI
+// alloc-regression step greps for.
+func BenchmarkServerRequestPath(b *testing.B) {
+	frame := AppendRequest(nil, &Request{ID: 42, Fn: 7, Payload: benchPayload(4096)})
+	rd := bytes.NewReader(frame)
+	var req Request
+	var resp Response
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		rd.Reset(frame)
+		fr, err := ReadRequestFrame(rd, &req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The response payload aliases the request's — standing in for a
+		// function output handed straight to the encoder, no staging
+		// copy in between.
+		resp.ID, resp.Status, resp.Card, resp.Payload = req.ID, StatusOK, 0, req.Payload
+		if err := WriteResponse(io.Discard, &resp); err != nil {
+			b.Fatal(err)
+		}
+		fr.Release()
+	}
+}
+
+// BenchmarkClientRequestPath is the client's per-call wire work: write
+// the request, read the response zero-copy, release. Also 0 allocs/op.
+func BenchmarkClientRequestPath(b *testing.B) {
+	req := &Request{ID: 42, Fn: 7, Payload: benchPayload(4096)}
+	frame := AppendResponse(nil, &Response{ID: 42, Status: StatusOK, Card: 1, Payload: benchPayload(4096)})
+	rd := bytes.NewReader(frame)
+	var resp Response
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		if err := WriteRequest(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+		rd.Reset(frame)
+		fr, err := ReadResponseFrame(rd, &resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.ID != req.ID {
+			b.Fatal("id mismatch")
+		}
+		fr.Release()
 	}
 }
 

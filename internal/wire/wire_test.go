@@ -168,6 +168,72 @@ func TestDecodeTrailingBytesLeftAlone(t *testing.T) {
 	}
 }
 
+// TestZeroCopyAliasing pins the zero-copy contract: DecodeRequestInto's
+// payload aliases the input buffer (no copy), and the Frame readers
+// keep the payload valid until Release.
+func TestZeroCopyAliasing(t *testing.T) {
+	b := AppendRequest(nil, &Request{ID: 7, Fn: 3, Payload: []byte("alias me")})
+	var req Request
+	n, err := DecodeRequestInto(&req, b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	b[len(b)-1] ^= 0xFF // mutating the buffer must show through the alias
+	if req.Payload[len(req.Payload)-1] != 'e'^0xFF {
+		t.Fatal("DecodeRequestInto copied the payload; it must alias")
+	}
+
+	var resp Response
+	rb := AppendResponse(nil, &Response{ID: 7, Status: StatusOK, Card: 2, Payload: []byte("out")})
+	fr, err := ReadResponseFrame(bytes.NewReader(rb), &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 7 || !bytes.Equal(resp.Payload, []byte("out")) {
+		t.Fatalf("frame read mismatch: %+v", resp)
+	}
+	fr.Release()
+	Frame{}.Release() // the zero Frame must be a safe no-op
+}
+
+// TestReadRequestFrameStream drives the zero-copy reader over a
+// pipelined stream and checks each frame against the copying reader's
+// result.
+func TestReadRequestFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*Request{
+		{ID: 1, Fn: 2, Deadline: time.Second, Payload: []byte("first")},
+		{ID: 2, Fn: 9, Payload: bytes.Repeat([]byte{0x7E}, 2048)},
+		{ID: 3, Fn: 2, Payload: []byte("third")},
+	}
+	for _, r := range want {
+		if err := WriteRequest(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var req Request
+	for _, w := range want {
+		fr, err := ReadRequestFrame(&buf, &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.ID != w.ID || req.Fn != w.Fn || req.Deadline != w.Deadline ||
+			!bytes.Equal(req.Payload, w.Payload) {
+			t.Fatalf("frame mismatch: %+v vs %+v", req, w)
+		}
+		fr.Release()
+	}
+	if _, err := ReadRequestFrame(&buf, &req); err != io.EOF {
+		t.Fatalf("empty stream err = %v, want io.EOF", err)
+	}
+	// Errors return the zero Frame and recycle internally: a truncated
+	// tail must not leak a buffer or a stale decode.
+	full := AppendRequest(nil, &Request{ID: 4, Fn: 1, Payload: []byte("cut")})
+	if _, err := ReadRequestFrame(bytes.NewReader(full[:len(full)-1]), &req); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated err = %v, want ErrTruncated", err)
+	}
+}
+
 func TestStatusStrings(t *testing.T) {
 	for s := StatusOK; s <= StatusInternal; s++ {
 		if s.String() == "" {

@@ -17,6 +17,19 @@ type NetOptions struct {
 	// connections (default 64). Excess requests are refused with
 	// RESOURCE_EXHAUSTED rather than queued.
 	MaxInflight int
+	// BatchWindow, when > 1, enables cross-client coalescing: up to
+	// BatchWindow admitted same-function requests — from any mix of
+	// connections — are collected into one window and submitted to the
+	// cluster as a single batch, sharing one queue slot, one
+	// configuration check and one coalesced run. 0 or 1 (the default)
+	// dispatches each request individually.
+	BatchWindow int
+	// BatchDwell bounds how long the first request of a batching window
+	// waits for company before the window flushes anyway (default
+	// 200µs). Only meaningful with BatchWindow > 1. Dwell is wall-clock
+	// — it bounds real latency added at the network edge — and never
+	// touches the simulation's virtual clocks.
+	BatchDwell time.Duration
 }
 
 // NetServer is a running network front end over a Cluster (see Serve).
@@ -43,6 +56,8 @@ func Serve(addr string, cl *Cluster, opts NetOptions) (*NetServer, error) {
 	}
 	srv := server.New(cl.inner, server.Options{
 		MaxInflight: opts.MaxInflight,
+		BatchWindow: opts.BatchWindow,
+		BatchDwell:  opts.BatchDwell,
 		Metrics:     cl.inner.Metrics(),
 	})
 	ns := &NetServer{srv: srv, addr: ln.Addr(), done: make(chan error, 1)}
@@ -72,7 +87,10 @@ func (s *NetServer) Close() error {
 // DialOptions tunes a network client (see Dial). The zero value of
 // every field selects a default.
 type DialOptions struct {
-	// PoolSize bounds idle pooled connections (default 4).
+	// PoolSize bounds multiplexed connections (default 4). Concurrent
+	// calls are pipelined over the pool — each connection carries many
+	// requests in flight and responses demultiplex by request id — so
+	// the pool never grows past PoolSize no matter the concurrency.
 	PoolSize int
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
@@ -90,8 +108,9 @@ type DialOptions struct {
 	JitterSeed uint64
 }
 
-// NetClient is a pooled, retrying connection to a NetServer (or
-// agilenetd daemon). Safe for concurrent use.
+// NetClient is a multiplexing, retrying connection to a NetServer (or
+// agilenetd daemon): concurrent Calls pipeline over a small connection
+// pool and responses may return out of order. Safe for concurrent use.
 type NetClient struct {
 	c *client.Client
 }
