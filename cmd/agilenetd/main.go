@@ -26,6 +26,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -38,6 +39,7 @@ import (
 	"agilefpga/internal/fpga"
 	"agilefpga/internal/metrics"
 	"agilefpga/internal/server"
+	"agilefpga/internal/trace"
 )
 
 func main() {
@@ -55,6 +57,9 @@ func main() {
 	batchWindow := flag.Int("batch-window", 0, "cross-client batching: coalesce up to this many same-function requests into one cluster batch (0/1 = off)")
 	batchDwell := flag.Duration("batch-dwell", server.DefaultBatchDwell, "cross-client batching: max wait for a window to fill before it flushes")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address, e.g. :9090")
+	traceSample := flag.Float64("trace-sample", 0, "distributed tracing: head-sampling probability in [0,1] (0 = tracing off); sampled requests become span trees on /debug/traces")
+	traceTail := flag.Int("trace-tail", 16, "distributed tracing: always retain the slowest N sampled traces (tail capture), plus an error ring")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/traces, /debug/requests and /debug/pprof on this address, e.g. :6060")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 
 	call := flag.String("call", "", "client mode: function name to call against -addr")
@@ -65,7 +70,7 @@ func main() {
 	flag.Parse()
 
 	if *call != "" {
-		runClient(*addr, *call, *requests, *payload, *concurrency, *timeout)
+		runClient(*addr, *call, *requests, *payload, *concurrency, *timeout, *traceSample)
 		return
 	}
 
@@ -82,6 +87,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.NewTracer(trace.TracerOptions{Sample: *traceSample, TailN: *traceTail})
+		defer tracer.Close()
+		log.Printf("tracing %.0f%% of requests (tail keeps the slowest %d)", *traceSample*100, *traceTail)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -91,7 +103,31 @@ func main() {
 		BatchWindow: *batchWindow,
 		BatchDwell:  *batchDwell,
 		Metrics:     reg,
+		Tracer:      tracer,
 	})
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/traces", tracer.Handler())
+		dmux.Handle("/debug/requests", srv.DebugRequestsHandler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("agilenetd: debug server: %v", err)
+			}
+		}()
+		log.Printf("debug surface on http://%s/debug/{traces,requests,pprof}", dln.Addr())
+	}
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
@@ -142,15 +178,27 @@ func main() {
 		defer cancel()
 		metricsSrv.Shutdown(ctx)
 	}
+	if debugSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		debugSrv.Shutdown(ctx)
+	}
 	cl.Close()
 	log.Printf("drained; bye")
 }
 
 // runClient is the -call mode: a burst of requests through the public
 // client API, with retries on overload. With -concurrency > 1 the
-// burst pipelines over the client's multiplexed connection pool.
-func runClient(addr, fn string, requests, payload, concurrency int, timeout time.Duration) {
-	c, err := agilefpga.Dial(addr, agilefpga.DialOptions{})
+// burst pipelines over the client's multiplexed connection pool. A
+// non-zero traceSample traces the burst: sampled calls ship their
+// trace context on the wire so a tracing daemon joins the same traces.
+func runClient(addr, fn string, requests, payload, concurrency int, timeout time.Duration, traceSample float64) {
+	var tracer *agilefpga.Tracer
+	if traceSample > 0 {
+		tracer = agilefpga.NewTracer(agilefpga.TracerOptions{Sample: traceSample})
+		defer tracer.Close()
+	}
+	c, err := agilefpga.Dial(addr, agilefpga.DialOptions{Tracer: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +55,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write the event log as JSON lines to this file")
 	chromePath := flag.String("trace-chrome", "", "write the event log as Chrome trace-event JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /healthz on this address, e.g. :9090; keeps serving after the run")
+	traceSample := flag.Float64("trace-sample", 0, "request tracing: head-sampling probability in [0,1] (0 = off); sampled calls become span trees (host call + virtual card phases) on /debug/traces")
+	traceTail := flag.Int("trace-tail", 16, "request tracing: always retain the slowest N sampled traces (tail capture), plus an error ring")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/traces and /debug/pprof on this address, e.g. :6060; keeps serving after the run")
 	flag.Parse()
 
 	var reg *metrics.Registry
@@ -83,6 +87,33 @@ func main() {
 			}
 		}()
 		fmt.Printf("serving /metrics and /healthz on http://%s\n", metricsLn.Addr())
+	}
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.NewTracer(trace.TracerOptions{Sample: *traceSample, TailN: *traceTail})
+		defer tracer.Close()
+	}
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		var err error
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/traces", tracer.Handler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(debugLn, dmux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("agilesim: debug server: %v", err)
+			}
+		}()
+		fmt.Printf("serving /debug/traces and /debug/pprof on http://%s\n", debugLn.Addr())
 	}
 
 	cp, err := core.New(core.Config{
@@ -152,10 +183,30 @@ func main() {
 		return m
 	}
 	serve := func(j sched.Job) error {
-		res, err := cp.CallID(j.Fn, j.Input)
+		// Sampled calls become span trees: a host call span with the
+		// card's virtual phase breakdown underneath. A nil tracer (or
+		// a sampled-out call) makes every span call a no-op.
+		ref := tracer.StartRoot("call", "host", j.Fn)
+		var res *core.CallResult
+		var err error
+		if ref.Valid() {
+			res, err = cp.CallIDTraced(j.Fn, j.Input, ref.TraceID, ref.SpanID)
+		} else {
+			res, err = cp.CallID(j.Fn, j.Input)
+		}
 		if err != nil {
+			tracer.End(ref, "error")
 			return err
 		}
+		for p := 0; p < sim.NumPhases; p++ {
+			if d := res.Breakdown.Get(sim.Phase(p)); d > 0 {
+				tracer.Add(ref, trace.Span{
+					Name: sim.Phase(p).String(), Layer: "card", Fn: j.Fn,
+					VirtPS: uint64(d),
+				})
+			}
+		}
+		tracer.End(ref, "ok")
 		total += res.Latency
 		if res.Latency > worst {
 			worst = res.Latency
@@ -232,17 +283,34 @@ func main() {
 			fmt.Printf("  %-11s p50 %-12v p95 %-12v p99 %-12v (%d obs)\n",
 				sim.Phase(p), p50, p95, p99, n)
 		}
-		fmt.Printf("\nmetrics live on http://%s/metrics — ctrl-c to exit\n", metricsLn.Addr())
-		// Keep serving until a signal, then shut the endpoint down
+		fmt.Printf("\nmetrics live on http://%s/metrics\n", metricsLn.Addr())
+	}
+	if tracer != nil {
+		// The run is over: stop the collector (idempotent; the deferred
+		// Close becomes a no-op) so the rings hold every completion
+		// before we report and keep serving /debug/traces.
+		tracer.Close()
+		fmt.Printf("\ntraces: %d completed, %d captured (tail keeps the slowest %d)\n",
+			tracer.Completed(), len(tracer.Captured()), *traceTail)
+	}
+
+	if metricsSrv != nil || debugLn != nil {
+		fmt.Printf("\nserving debug endpoints — ctrl-c to exit\n")
+		// Keep serving until a signal, then shut the endpoints down
 		// gracefully so in-progress scrapes finish and the process
 		// exits cleanly.
 		sigc := make(chan os.Signal, 1)
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		<-sigc
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		if err := metricsSrv.Shutdown(ctx); err != nil {
-			log.Printf("agilesim: metrics shutdown: %v", err)
+		if metricsSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := metricsSrv.Shutdown(ctx); err != nil {
+				log.Printf("agilesim: metrics shutdown: %v", err)
+			}
+		}
+		if debugLn != nil {
+			debugLn.Close()
 		}
 	}
 }

@@ -6,11 +6,12 @@ import (
 	"go/types"
 )
 
-// metricsPkgPath and simPkgPath are the real packages the invariant
-// connects; analyzer testdata imports the same packages, so exact
-// paths are correct in both contexts.
+// metricsPkgPath, tracePkgPath and simPkgPath are the real packages
+// the invariant connects; analyzer testdata imports the same packages,
+// so exact paths are correct in both contexts.
 const (
 	metricsPkgPath = "agilefpga/internal/metrics"
+	tracePkgPath   = "agilefpga/internal/trace"
 	simPkgPath     = "agilefpga/internal/sim"
 )
 
@@ -29,6 +30,17 @@ var metricsObservationFuncs = map[string]bool{
 	"Set":           true,
 }
 
+// traceObservationFuncs are the internal/trace entry points that
+// record spans: the same passivity rule applies — a span is a record
+// of virtual time already spent, so building one must never spend it.
+var traceObservationFuncs = map[string]bool{
+	"StartRoot":   true,
+	"StartRemote": true,
+	"StartChild":  true,
+	"Add":         true,
+	"End":         true,
+}
+
 // clockAdvancingFuncs are the internal/sim functions that move a
 // virtual clock domain.
 var clockAdvancingFuncs = map[string]bool{
@@ -37,22 +49,26 @@ var clockAdvancingFuncs = map[string]bool{
 }
 
 // PassiveMetrics enforces that telemetry is an observer, never an
-// actor: the arguments of a metrics observation must not advance a
-// virtual clock domain. TestMetricsChangeNoVirtualTime spot-checks
-// this property dynamically for one path; the analyzer proves the
-// syntactic form of it everywhere — no call reachable from a metrics
-// observation's argument list may be (*sim.Domain).Advance or Reset.
+// actor: the arguments of a metrics observation or trace span
+// recording must not advance a virtual clock domain.
+// TestMetricsChangeNoVirtualTime and TestTracingNoVirtualTime
+// spot-check this property dynamically for single paths; the analyzer
+// proves the syntactic form of it everywhere — no call reachable from
+// an observation's argument list may be (*sim.Domain).Advance or
+// Reset.
 var PassiveMetrics = &Analyzer{
 	Name: "passivemetrics",
-	Doc: `metrics observation must not advance virtual time
+	Doc: `metrics observation and trace recording must not advance virtual time
 
 Every instrumented phase computes its virtual-time cost first and then
 observes the already-computed value; writing
-hist.Observe(dom.Advance(n)) would make telemetry perturb the very
+hist.Observe(dom.Advance(n)) — or stamping a span with
+VirtPS: uint64(dom.Advance(n)) — would make telemetry perturb the very
 quantity it measures, breaking the paper's deterministic cost model
-whenever metrics are enabled. The analyzer flags any
+whenever metrics or tracing are enabled. The analyzer flags any
 (*sim.Domain).Advance / Reset call nested inside the argument
-expressions of an internal/metrics observation call.`,
+expressions of an internal/metrics observation or internal/trace span
+call.`,
 	Run: runPassiveMetrics,
 }
 
@@ -65,7 +81,16 @@ func runPassiveMetrics(pass *Pass) error {
 				return true
 			}
 			callee := calleeFunc(pass.Info, call)
-			if callee == nil || funcPkgPath(callee) != metricsPkgPath || !metricsObservationFuncs[callee.Name()] {
+			if callee == nil {
+				return true
+			}
+			var kind string
+			switch pkg := funcPkgPath(callee); {
+			case pkg == metricsPkgPath && metricsObservationFuncs[callee.Name()]:
+				kind = "metrics"
+			case pkg == tracePkgPath && traceObservationFuncs[callee.Name()]:
+				kind = "trace"
+			default:
 				return true
 			}
 			for _, arg := range call.Args {
@@ -88,8 +113,8 @@ func runPassiveMetrics(pass *Pass) error {
 					if !reported[ic.Pos()] {
 						reported[ic.Pos()] = true
 						pass.Reportf(ic.Pos(),
-							"(*sim.Domain).%s advances virtual time inside the arguments of metrics call %s.%s — observation must be passive: compute the time first, then observe it",
-							adv.Name(), recvDisplay(call), callee.Name())
+							"(*sim.Domain).%s advances virtual time inside the arguments of %s call %s.%s — observation must be passive: compute the time first, then observe it",
+							adv.Name(), kind, recvDisplay(call), callee.Name())
 					}
 					return true
 				})

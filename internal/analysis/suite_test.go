@@ -27,5 +27,8 @@ func TestChanUnderMutex(t *testing.T) {
 }
 
 func TestPassiveMetrics(t *testing.T) {
-	analysistest.Run(t, analysis.PassiveMetrics, "passivemetrics/internal/mcu")
+	analysistest.Run(t, analysis.PassiveMetrics,
+		"passivemetrics/internal/mcu",
+		"passivemetrics/internal/server",
+	)
 }

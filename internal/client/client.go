@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"agilefpga/internal/metrics"
+	"agilefpga/internal/trace"
 	"agilefpga/internal/wire"
 )
 
@@ -68,6 +69,11 @@ type Options struct {
 	// Metrics, if set, receives the client series: the
 	// agile_net_mux_inflight_per_conn gauge labelled by pool slot.
 	Metrics *metrics.Registry
+	// Tracer, if set, traces calls: every Call roots one span (head
+	// sampling decides whether it is recorded), each attempt becomes a
+	// child span, and sampled attempts ship their trace context in the
+	// wire frame so the server's spans join the same trace.
+	Tracer *trace.Tracer
 }
 
 // StatusError is a non-OK wire status answered by the server.
@@ -336,11 +342,24 @@ func (c *Client) dropConn(m *muxConn) {
 // request's remaining budget. Non-OK statuses surface as *StatusError;
 // connection failures as *TransportError (after retries are spent).
 func (c *Client) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, int, error) {
+	// One root span per Call, one child per attempt. A nil tracer (or a
+	// sampled-out decision) yields zero refs and every span call below
+	// is a no-op — the untraced path allocates nothing.
+	ref := c.opts.Tracer.StartRoot("call", "client", fn)
+	out, card, err := c.call(ctx, fn, payload, ref)
+	c.opts.Tracer.End(ref, spanStatus(err))
+	return out, card, err
+}
+
+// call is the retry loop behind Call.
+func (c *Client) call(ctx context.Context, fn uint16, payload []byte, ref trace.SpanRef) ([]byte, int, error) {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, -1, err
 		}
-		out, card, err := c.once(ctx, fn, payload)
+		aref := c.opts.Tracer.StartChild(ref, "attempt", "client", fn)
+		out, card, err := c.once(ctx, fn, payload, aref)
+		c.opts.Tracer.End(aref, spanStatus(err))
 		if err == nil {
 			return out, card, nil
 		}
@@ -356,8 +375,30 @@ func (c *Client) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, i
 	}
 }
 
+// spanStatus renders an attempt outcome as a span status string.
+func spanStatus(err error) string {
+	switch e := err.(type) {
+	case nil:
+		return "ok"
+	case *StatusError:
+		return e.Status.String()
+	case *TransportError:
+		return "transport"
+	default:
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "error"
+}
+
 // once is a single attempt, pipelined onto one multiplexed connection.
-func (c *Client) once(ctx context.Context, fn uint16, payload []byte) ([]byte, int, error) {
+// A valid aref ships as the request's wire trace context, so the
+// server's spans join this attempt's trace.
+func (c *Client) once(ctx context.Context, fn uint16, payload []byte, aref trace.SpanRef) ([]byte, int, error) {
 	m, err := c.pick()
 	if err != nil {
 		return nil, -1, err
@@ -382,6 +423,9 @@ func (c *Client) once(ctx context.Context, fn uint16, payload []byte) ([]byte, i
 		c.gauges[m.slot].Dec()
 	}()
 	req := &wire.Request{ID: id, Fn: fn, Deadline: budget, Payload: payload}
+	if aref.Valid() {
+		req.Trace = wire.TraceContext{TraceID: aref.TraceID, SpanID: aref.SpanID, Flags: wire.FlagSampled}
+	}
 	m.wmu.Lock()
 	if hasDL {
 		m.c.SetWriteDeadline(dl)

@@ -330,6 +330,17 @@ type Pending struct {
 	// children, which settle individually. A carrier itself never
 	// completes.
 	group []*Pending
+	// ref is the caller's trace span for this job (zero when the
+	// request is not sampled). It rides to the card worker, which tags
+	// the card-log events with it and stamps the wall times below so
+	// the caller can split queue wait from service time.
+	ref trace.SpanRef
+	// tSubmit/tStart/tDone are wall-clock stamps (ns): enqueue time,
+	// the moment the worker began the job's coalesced run, and run
+	// completion. Stamped only for traced jobs, always before
+	// complete() closes done, so Wait gives the happens-before edge
+	// that makes TraceTimes race-free.
+	tSubmit, tStart, tDone int64
 }
 
 // expand returns the jobs this queue entry stands for: the group's
@@ -350,6 +361,20 @@ func (p *Pending) Wait() (*core.CallResult, int, error) {
 // Done is closed when the submission settles. It lets callers multiplex
 // completion against their own deadline without consuming the result.
 func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// TraceTimes reports the wall-clock stamps of a traced submission:
+// enqueue, service start, and service end (ns). Zero stamps mean the
+// job was not traced (or never reached that stage — a routing failure
+// leaves start/done zero). Valid only after Wait (or Done) returns.
+func (p *Pending) TraceTimes() (submitNS, startNS, doneNS int64) {
+	return p.tSubmit, p.tStart, p.tDone
+}
+
+// nowNS is the cluster's wall clock for queue-wait/service-time trace
+// stamps.
+func nowNS() int64 {
+	return time.Now().UnixNano() //lint:wallclock trace stamps measure real queue wait, not simulated cycles
+}
 
 // expired reports the submission's deadline error, if its context ended
 // before a worker reached it.
@@ -392,7 +417,18 @@ func (cl *Cluster) Submit(fnID uint16, input []byte) *Pending {
 // ErrQueueFull so callers doing admission control can shed load
 // explicitly. All failures surface through Wait.
 func (cl *Cluster) SubmitContext(ctx context.Context, fnID uint16, input []byte, wait bool) *Pending {
-	p := &Pending{fn: fnID, input: input, ctx: ctx, done: make(chan struct{}), card: -1}
+	return cl.SubmitContextTraced(ctx, fnID, input, wait, trace.SpanRef{})
+}
+
+// SubmitContextTraced is SubmitContext carrying the caller's trace
+// span: the job is stamped with wall times at enqueue and around its
+// card run (TraceTimes), and the card-log events of the run are tagged
+// with the span's ids. A zero ref degrades to the untraced path.
+func (cl *Cluster) SubmitContextTraced(ctx context.Context, fnID uint16, input []byte, wait bool, ref trace.SpanRef) *Pending {
+	p := &Pending{fn: fnID, input: input, ctx: ctx, done: make(chan struct{}), card: -1, ref: ref}
+	if ref.Valid() {
+		p.tSubmit = nowNS()
+	}
 	if err := ctx.Err(); err != nil {
 		p.complete(nil, -1, err)
 		return p
@@ -423,6 +459,14 @@ func (cl *Cluster) SubmitContext(ctx context.Context, fnID uint16, input []byte,
 // wait is true the first job's context bounds the blocking enqueue.
 // All failures surface through each child's Wait.
 func (cl *Cluster) SubmitGroup(ctxs []context.Context, fnID uint16, inputs [][]byte, wait bool) []*Pending {
+	return cl.SubmitGroupTraced(ctxs, fnID, inputs, wait, nil)
+}
+
+// SubmitGroupTraced is SubmitGroup with per-member trace spans (refs
+// may be shorter than inputs; zero entries mean untraced members). The
+// worker tags the coalesced run's card-log events with the first valid
+// member ref and stamps every traced member's TraceTimes.
+func (cl *Cluster) SubmitGroupTraced(ctxs []context.Context, fnID uint16, inputs [][]byte, wait bool, refs []trace.SpanRef) []*Pending {
 	children := make([]*Pending, len(inputs))
 	for i := range inputs {
 		ctx := context.Background()
@@ -430,6 +474,10 @@ func (cl *Cluster) SubmitGroup(ctxs []context.Context, fnID uint16, inputs [][]b
 			ctx = ctxs[i]
 		}
 		children[i] = &Pending{fn: fnID, input: inputs[i], ctx: ctx, done: make(chan struct{}), card: -1}
+		if i < len(refs) && refs[i].Valid() {
+			children[i].ref = refs[i]
+			children[i].tSubmit = nowNS()
+		}
 	}
 	if len(children) == 0 {
 		return children
@@ -572,14 +620,22 @@ func (cl *Cluster) worker(card int) {
 // the card: their caller has already given up, so spending fabric time
 // on them only delays the live jobs behind them.
 func (cl *Cluster) serveRun(card int, run []*Pending) {
+	now := nowNS()
 	live := run[:0]
 	for _, p := range run {
 		if err := p.expired(); err != nil {
 			if cl.metrics != nil {
 				cl.metrics.Counter("agile_cluster_expired_total", cl.cardLabels[card]).Inc()
 			}
+			if p.ref.Valid() {
+				// Expired in queue: all wait, no service.
+				p.tStart, p.tDone = now, now
+			}
 			p.complete(nil, card, err)
 			continue
+		}
+		if p.ref.Valid() {
+			p.tStart = now
 		}
 		live = append(live, p)
 	}
@@ -587,6 +643,26 @@ func (cl *Cluster) serveRun(card int, run []*Pending) {
 		return
 	}
 	run = live
+	// stampDone closes every traced member's service window just before
+	// completion, so queue wait (tStart−tSubmit) plus service time
+	// (tDone−tStart) tiles the job's whole dispatcher residency.
+	stampDone := func(run []*Pending) {
+		end := nowNS()
+		for _, p := range run {
+			if p.ref.Valid() {
+				p.tDone = end
+			}
+		}
+	}
+	// runRef is the span the card-log events of this coalesced run are
+	// tagged with: the first traced member's, by convention.
+	var runRef trace.SpanRef
+	for _, p := range run {
+		if p.ref.Valid() {
+			runRef = p.ref
+			break
+		}
+	}
 	cp := cl.cards[card]
 	if cl.metrics != nil {
 		busy := cl.metrics.Gauge("agile_cluster_worker_busy", cl.cardLabels[card])
@@ -598,7 +674,14 @@ func (cl *Cluster) serveRun(card int, run []*Pending) {
 		}
 	}
 	if len(run) == 1 {
-		res, err := cp.CallID(run[0].fn, run[0].input)
+		var res *core.CallResult
+		var err error
+		if runRef.Valid() {
+			res, err = cp.CallIDTraced(run[0].fn, run[0].input, runRef.TraceID, runRef.SpanID)
+		} else {
+			res, err = cp.CallID(run[0].fn, run[0].input)
+		}
+		stampDone(run)
 		run[0].complete(res, card, err)
 		return
 	}
@@ -606,7 +689,14 @@ func (cl *Cluster) serveRun(card int, run []*Pending) {
 	for i, p := range run {
 		inputs[i] = p.input
 	}
-	batch, err := cp.CallBatchID(run[0].fn, inputs)
+	var batch *core.BatchResult
+	var err error
+	if runRef.Valid() {
+		batch, err = cp.CallBatchIDTraced(run[0].fn, inputs, runRef.TraceID, runRef.SpanID)
+	} else {
+		batch, err = cp.CallBatchID(run[0].fn, inputs)
+	}
+	stampDone(run)
 	if err != nil {
 		// CallBatch fails the whole pipeline; every job in the run
 		// observes the error.

@@ -57,6 +57,18 @@ func (cp *CoProcessor) CallBatchID(fnID uint16, inputs [][]byte) (*BatchResult, 
 	return cp.callBatchID(fnID, inputs)
 }
 
+// CallBatchIDTraced is CallBatchID with a distributed-trace tag: the
+// card-log events of the whole coalesced run are stamped with the
+// given ids (by convention the first traced member's), the same
+// scoping as CallIDTraced.
+func (cp *CoProcessor) CallBatchIDTraced(fnID uint16, inputs [][]byte, traceID, spanID uint64) (*BatchResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.ctrl.SetRequestTrace(traceID, spanID)
+	defer cp.ctrl.SetRequestTrace(0, 0)
+	return cp.callBatchID(fnID, inputs)
+}
+
 func (cp *CoProcessor) callBatchID(fnID uint16, inputs [][]byte) (*BatchResult, error) {
 	if len(inputs) == 0 {
 		return nil, errors.New("core: empty batch")

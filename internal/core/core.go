@@ -355,6 +355,20 @@ func (cp *CoProcessor) CallID(fnID uint16, input []byte) (*CallResult, error) {
 	return cp.callID(fnID, input)
 }
 
+// CallIDTraced is CallID for a request carrying distributed-trace
+// context: card-log events emitted while the call runs are stamped
+// with the request's trace and span ids (the cluster's service span),
+// attaching the per-phase records to the owning span tree. The tag is
+// scoped by the card lock, so concurrent untraced calls never inherit
+// it. Zero ids degrade to plain CallID.
+func (cp *CoProcessor) CallIDTraced(fnID uint16, input []byte, traceID, spanID uint64) (*CallResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.ctrl.SetRequestTrace(traceID, spanID)
+	defer cp.ctrl.SetRequestTrace(0, 0)
+	return cp.callID(fnID, input)
+}
+
 // callID runs the host protocol with cp.mu held.
 func (cp *CoProcessor) callID(fnID uint16, input []byte) (*CallResult, error) {
 	if len(input) == 0 {

@@ -6,8 +6,10 @@ import (
 	"sync"
 	"testing"
 
+	"agilefpga/internal/algos"
 	"agilefpga/internal/metrics"
 	"agilefpga/internal/sim"
+	"agilefpga/internal/trace"
 )
 
 // TestStatsRequiresCardLock asserts the contract documented on
@@ -77,7 +79,9 @@ func metricsWorkload(t *testing.T, cp *CoProcessor) []sim.Time {
 
 // TestMetricsChangeNoVirtualTime is the determinism guarantee of the
 // telemetry layer: the same workload costs exactly the same virtual
-// time with and without a registry attached.
+// time with and without a registry attached, and — extending the same
+// proof to the tracing layer — with every call tagged for a
+// 100%-sampled trace via CallIDTraced.
 func TestMetricsChangeNoVirtualTime(t *testing.T) {
 	plain, err := New(Config{Prefetch: true, DecodeCacheBytes: 1 << 20})
 	if err != nil {
@@ -90,21 +94,62 @@ func TestMetricsChangeNoVirtualTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cp := range []*CoProcessor{plain, observed} {
+	traced, err := New(Config{
+		Prefetch: true, DecodeCacheBytes: 1 << 20,
+		Metrics: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cp := range []*CoProcessor{plain, observed, traced} {
 		if _, err := cp.InstallBank(); err != nil {
 			t.Fatal(err)
 		}
 	}
 	latPlain := metricsWorkload(t, plain)
 	latObserved := metricsWorkload(t, observed)
+	latTraced := tracedWorkload(t, traced)
 	for i := range latPlain {
 		if latPlain[i] != latObserved[i] {
 			t.Errorf("call %d: latency %v without metrics, %v with", i, latPlain[i], latObserved[i])
+		}
+		if latPlain[i] != latTraced[i] {
+			t.Errorf("call %d: latency %v untraced, %v traced", i, latPlain[i], latTraced[i])
 		}
 	}
 	if p, o := plain.Stats(), observed.Stats(); p != o {
 		t.Errorf("stats diverge: %+v vs %+v", p, o)
 	}
+	if p, tr := plain.Stats(), traced.Stats(); p != tr {
+		t.Errorf("stats diverge under tracing: %+v vs %+v", p, tr)
+	}
+}
+
+// tracedWorkload is metricsWorkload with every call tagged for a
+// sampled trace, the way the cluster dispatcher drives a card when a
+// request carries wire trace context.
+func tracedWorkload(t *testing.T, cp *CoProcessor) []sim.Time {
+	t.Helper()
+	tracer := trace.NewTracer(trace.TracerOptions{Sample: 1, Seed: 5})
+	defer tracer.Close()
+	names := []string{"aes128", "sha1", "aes128", "fft64", "tdes", "aes128", "sha1"}
+	var lat []sim.Time
+	for i, name := range names {
+		fn, err := algos.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]byte, 128)
+		in[0] = byte(i)
+		ref := tracer.StartRoot("call", "host", fn.ID())
+		res, err := cp.CallIDTraced(fn.ID(), in, ref.TraceID, ref.SpanID)
+		tracer.End(ref, "ok")
+		if err != nil {
+			t.Fatalf("call %s: %v", name, err)
+		}
+		lat = append(lat, res.Latency)
+	}
+	return lat
 }
 
 // TestMetricsRecordRequestPath checks the request path lands in the

@@ -130,6 +130,13 @@ type Controller struct {
 	// fnNames caches fn id → record name for metric labels, filled as
 	// records are seen (bounded by the ROM's record table).
 	fnNames map[uint16]string
+
+	// reqTraceID/reqSpanID, set for the duration of one traced request
+	// (core.CallIDTraced holds the card lock around it), stamp emitted
+	// card-log events so per-phase records attach to the owning
+	// request's distributed span tree. Zero = untraced.
+	reqTraceID uint64
+	reqSpanID  uint64
 }
 
 // SetTrace attaches an event log; pass nil to disable tracing.
@@ -142,19 +149,30 @@ func (c *Controller) SetCard(card int) { c.card = card }
 // SetMetrics attaches a telemetry registry; pass nil to disable.
 func (c *Controller) SetMetrics(r *metrics.Registry) { c.metrics = r }
 
+// SetRequestTrace tags every event emitted until the next call with
+// the serving request's distributed-trace identity (zero ids clear the
+// tag). Callers must hold the card's serialization (core.CoProcessor's
+// per-card lock) across set → execute → clear, which is what the
+// CallIDTraced wrappers do.
+func (c *Controller) SetRequestTrace(traceID, spanID uint64) {
+	c.reqTraceID, c.reqSpanID = traceID, spanID
+}
+
 // emit records a trace event stamped with accumulated card time.
 func (c *Controller) emit(kind trace.Kind, fn uint16, frames, bytes int, detail string) {
 	if c.traceLog == nil {
 		return
 	}
 	c.traceLog.Record(trace.Event{
-		TimePS: uint64(c.stats.Phases.Total() + c.stats.PrefetchTime),
-		Kind:   kind,
-		Fn:     fn,
-		Frames: frames,
-		Bytes:  bytes,
-		Detail: detail,
-		Card:   c.card,
+		TimePS:  uint64(c.stats.Phases.Total() + c.stats.PrefetchTime),
+		Kind:    kind,
+		Fn:      fn,
+		Frames:  frames,
+		Bytes:   bytes,
+		Detail:  detail,
+		Card:    c.card,
+		TraceID: c.reqTraceID,
+		SpanID:  c.reqSpanID,
 	})
 }
 
@@ -172,12 +190,14 @@ func (c *Controller) emitSpans(fn uint16, base sim.Time, br sim.Breakdown) {
 			continue
 		}
 		c.traceLog.Record(trace.Event{
-			TimePS: uint64(off),
-			Kind:   trace.KindSpan,
-			Fn:     fn,
-			Detail: sim.Phase(p).String(),
-			DurPS:  uint64(t),
-			Card:   c.card,
+			TimePS:  uint64(off),
+			Kind:    trace.KindSpan,
+			Fn:      fn,
+			Detail:  sim.Phase(p).String(),
+			DurPS:   uint64(t),
+			Card:    c.card,
+			TraceID: c.reqTraceID,
+			SpanID:  c.reqSpanID,
 		})
 		off += t
 	}

@@ -94,6 +94,13 @@ type Histogram struct {
 	buckets []atomic.Uint64 // len(bounds)+1
 	count   atomic.Uint64
 	sum     atomic.Uint64 // picoseconds
+	// Exemplar: the trace id and value of the most recent traced
+	// observation, linking the aggregate series back to one concrete
+	// request a reader can pull from /debug/traces. Two independent
+	// atomics — a torn id/value pair costs a slightly mismatched
+	// exemplar, never a wrong aggregate.
+	exTraceID atomic.Uint64
+	exValue   atomic.Uint64
 }
 
 // DefaultLatencyBuckets covers the repository's virtual-latency range:
@@ -128,6 +135,32 @@ func (h *Histogram) Observe(t sim.Time) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(uint64(t))
+}
+
+// ObserveExemplar is Observe plus an exemplar: when traceID is
+// non-zero the observation's trace id is remembered (last writer
+// wins) and exported alongside the series, so a latency spike on a
+// dashboard links to the distributed trace that caused it. Safe on a
+// nil receiver.
+func (h *Histogram) ObserveExemplar(t sim.Time, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(t)
+	if traceID != 0 {
+		h.exTraceID.Store(traceID)
+		h.exValue.Store(uint64(t))
+	}
+}
+
+// Exemplar reports the most recent traced observation (zero trace id
+// when no traced observation has been recorded). Safe on a nil
+// receiver.
+func (h *Histogram) Exemplar() (traceID uint64, value sim.Time) {
+	if h == nil {
+		return 0, 0
+	}
+	return h.exTraceID.Load(), sim.Time(h.exValue.Load())
 }
 
 // Count reports the number of observations.
@@ -312,6 +345,10 @@ type SeriesSnapshot struct {
 	Buckets []uint64
 	Count   uint64
 	Sum     sim.Time
+	// ExemplarTraceID/ExemplarValue carry the histogram's most recent
+	// traced observation (zero id = none).
+	ExemplarTraceID uint64
+	ExemplarValue   sim.Time
 }
 
 // Label reports the value of one label key ("" when absent).
@@ -380,6 +417,7 @@ func snapshotOne(s *series) SeriesSnapshot {
 		}
 		out.Count = s.hist.Count()
 		out.Sum = s.hist.Sum()
+		out.ExemplarTraceID, out.ExemplarValue = s.hist.Exemplar()
 	}
 	return out
 }

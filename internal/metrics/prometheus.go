@@ -113,7 +113,15 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				}
 			}
 			cum += s.Buckets[len(s.Bounds)]
-			if err := emit("%s_bucket%s %d\n", s.Name, labelStringWith(s.Labels, "le", "+Inf"), cum); err != nil {
+			bucketLine := fmt.Sprintf("%s_bucket%s %d", s.Name, labelStringWith(s.Labels, "le", "+Inf"), cum)
+			if s.ExemplarTraceID != 0 {
+				// OpenMetrics-style exemplar: attach the most recent traced
+				// observation to the +Inf bucket (which every sample lands
+				// in cumulatively), linking the series to /debug/traces.
+				bucketLine += fmt.Sprintf(` # {trace_id="%x"} %s`,
+					s.ExemplarTraceID, formatSeconds(uint64(s.ExemplarValue)))
+			}
+			if err := emit("%s\n", bucketLine); err != nil {
 				return n, err
 			}
 			if err := emit("%s_sum%s %s\n", s.Name, labelString(s.Labels), formatSeconds(uint64(s.Sum))); err != nil {

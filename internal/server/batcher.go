@@ -2,12 +2,14 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"agilefpga/internal/cluster"
 	"agilefpga/internal/metrics"
 	"agilefpga/internal/sim"
+	"agilefpga/internal/trace"
 	"agilefpga/internal/wire"
 )
 
@@ -28,6 +30,7 @@ type batcher struct {
 	window int           // flush at this many entries
 	dwell  time.Duration // flush this long after the first entry
 	reg    *metrics.Registry
+	tracer *trace.Tracer
 
 	mu   sync.Mutex
 	open map[uint16]*batchWin
@@ -41,11 +44,12 @@ type batchWin struct {
 	ctxs    []context.Context
 	inputs  [][]byte
 	outs    []chan *cluster.Pending
+	refs    []trace.SpanRef
 	flushed bool
 }
 
-func newBatcher(cl *cluster.Cluster, window int, dwell time.Duration, reg *metrics.Registry) *batcher {
-	return &batcher{cl: cl, window: window, dwell: dwell, reg: reg, open: make(map[uint16]*batchWin)}
+func newBatcher(cl *cluster.Cluster, window int, dwell time.Duration, reg *metrics.Registry, tracer *trace.Tracer) *batcher {
+	return &batcher{cl: cl, window: window, dwell: dwell, reg: reg, tracer: tracer, open: make(map[uint16]*batchWin)}
 }
 
 // submit joins (or opens) the window for req's function and blocks
@@ -53,7 +57,7 @@ func newBatcher(cl *cluster.Cluster, window int, dwell time.Duration, reg *metri
 // that carries this request's slot in the group. The request's payload
 // is aliased, not copied: it stays valid because the caller holds the
 // frame until the pending settles.
-func (b *batcher) submit(ctx context.Context, req *wire.Request) *cluster.Pending {
+func (b *batcher) submit(ctx context.Context, req *wire.Request, ref trace.SpanRef) *cluster.Pending {
 	ch := make(chan *cluster.Pending, 1)
 	b.mu.Lock()
 	w := b.open[req.Fn]
@@ -65,6 +69,7 @@ func (b *batcher) submit(ctx context.Context, req *wire.Request) *cluster.Pendin
 	w.ctxs = append(w.ctxs, ctx)
 	w.inputs = append(w.inputs, req.Payload)
 	w.outs = append(w.outs, ch)
+	w.refs = append(w.refs, ref)
 	full := len(w.outs) >= b.window
 	b.mu.Unlock()
 	if full {
@@ -86,7 +91,7 @@ func (b *batcher) flush(w *batchWin) {
 		delete(b.open, w.fn)
 	}
 	w.timer.Stop()
-	ctxs, inputs, outs := w.ctxs, w.inputs, w.outs
+	ctxs, inputs, outs, refs := w.ctxs, w.inputs, w.outs, w.refs
 	dwell := time.Since(w.started) //lint:wallclock dwell bounds real client-visible latency at the network edge
 	b.mu.Unlock()
 	if b.reg != nil {
@@ -94,7 +99,17 @@ func (b *batcher) flush(w *batchWin) {
 			Observe(sim.Time(len(outs)))
 		b.reg.Counter("agile_net_batch_dwell_ps_total").Add(uint64(dwell.Nanoseconds()) * 1000)
 	}
-	pendings := b.cl.SubmitGroup(ctxs, w.fn, inputs, false)
+	// Link the window to every sampled member's trace: each gets a
+	// batch-window span covering the dwell, noting the window size, so
+	// cross-client coalescing is visible in each request's own tree.
+	note := fmt.Sprintf("size=%d fn=%d", len(outs), w.fn)
+	for _, ref := range refs {
+		b.tracer.Add(ref, trace.Span{
+			Name: "batch-window", Layer: "server", Fn: w.fn, Note: note,
+			StartNS: w.started.UnixNano(), DurNS: dwell.Nanoseconds(),
+		})
+	}
+	pendings := b.cl.SubmitGroupTraced(ctxs, w.fn, inputs, false, refs)
 	for i, ch := range outs {
 		ch <- pendings[i]
 	}

@@ -26,13 +26,18 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"agilefpga/internal/cluster"
+	"agilefpga/internal/core"
 	"agilefpga/internal/metrics"
 	"agilefpga/internal/sim"
 	"agilefpga/internal/trace"
@@ -73,6 +78,12 @@ type Options struct {
 	// Trace receives one span per request, carrying the request id,
 	// function, status and serving card (nil = no recording).
 	Trace *trace.Log
+	// Tracer receives the server's distributed-trace spans: one rpc
+	// span per request (joining the client's trace when the wire frame
+	// carried a context, rooting a server-side trace otherwise), with
+	// queue-wait, service and per-phase card children (nil = no
+	// tracing).
+	Tracer *trace.Tracer
 }
 
 // Server serves wire-protocol requests by dispatching onto a cluster.
@@ -89,6 +100,11 @@ type Server struct {
 
 	inflight sync.WaitGroup // admitted requests
 	connWG   sync.WaitGroup // connection handlers
+
+	// reqMu guards reqs, the live table behind /debug/requests: every
+	// admitted request registers here for its whole service time.
+	reqMu sync.Mutex
+	reqs  map[*inflightReq]struct{}
 
 	// hookAdmitted, when set by tests, runs in the request goroutine
 	// after admission and before dispatch — the deterministic way to
@@ -111,9 +127,10 @@ func New(cl *cluster.Cluster, opts Options) *Server {
 		opts:  opts,
 		sem:   make(chan struct{}, opts.MaxInflight),
 		conns: make(map[net.Conn]struct{}),
+		reqs:  make(map[*inflightReq]struct{}),
 	}
 	if opts.BatchWindow > 1 {
-		s.batch = newBatcher(cl, opts.BatchWindow, opts.BatchDwell, opts.Metrics)
+		s.batch = newBatcher(cl, opts.BatchWindow, opts.BatchDwell, opts.Metrics, opts.Tracer)
 	}
 	return s
 }
@@ -226,7 +243,7 @@ func (s *Server) handleConn(c net.Conn) {
 			delete(ids, req.ID)
 			idMu.Unlock()
 		}
-		s.handleRequest(req, fr, write, finish)
+		s.handleRequest(req, fr, write, finish, c.RemoteAddr().String())
 	}
 }
 
@@ -234,7 +251,7 @@ func (s *Server) handleConn(c net.Conn) {
 // its own goroutine. The draining check, semaphore acquisition and
 // in-flight registration happen atomically under mu so Shutdown's
 // drain wait cannot race a late admission.
-func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wire.Response), finish func()) {
+func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wire.Response), finish func(), remote string) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -274,18 +291,46 @@ func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wir
 			ctx, cancel = context.WithTimeout(ctx, req.Deadline)
 			defer cancel()
 		}
+		// The admission span: join the client's trace when the wire
+		// frame carried a context, root a server-side trace otherwise.
+		// A nil Tracer (or a sampled-out decision) yields a zero ref and
+		// every downstream span call is a no-op.
+		var ref trace.SpanRef
+		if req.Trace.Valid() {
+			ref = s.opts.Tracer.StartRemote(req.Trace.TraceID, req.Trace.SpanID,
+				req.Trace.Sampled(), "rpc", "server", req.Fn)
+		} else {
+			ref = s.opts.Tracer.StartRoot("rpc", "server", req.Fn)
+		}
+		start := time.Now() //lint:wallclock served latency is wall time seen by network clients
+		entry := &inflightReq{id: req.ID, fn: req.Fn, conn: remote, start: start, traceID: ref.TraceID}
+		s.reqMu.Lock()
+		s.reqs[entry] = struct{}{}
+		s.reqMu.Unlock()
 		if s.hookAdmitted != nil {
 			s.hookAdmitted(req)
 		}
-		start := time.Now() //lint:wallclock served latency is wall time seen by network clients
-		status, card, payload := s.execute(ctx, req)
+		status, card, payload := s.execute(ctx, req, ref)
 		write(&wire.Response{ID: req.ID, Status: status, Card: card, Payload: payload})
 		// The response is on the wire: the id may be reused and the
 		// request's read buffer (aliased by its payload) recycled.
 		finish()
 		fr.Release()
-		s.observe(req, status, card, time.Since(start)) //lint:wallclock served latency is wall time seen by network clients
+		s.reqMu.Lock()
+		delete(s.reqs, entry)
+		s.reqMu.Unlock()
+		s.opts.Tracer.End(ref, statusLabel(status))
+		s.observeTraced(req, status, card, time.Since(start), ref.TraceID) //lint:wallclock served latency is wall time seen by network clients
 	}()
+}
+
+// statusLabel renders a wire status as a span status string ("ok"
+// keeps the trace out of the error ring).
+func statusLabel(st wire.Status) string {
+	if st == wire.StatusOK {
+		return "ok"
+	}
+	return st.String()
 }
 
 // refuse answers a request that was never admitted.
@@ -295,16 +340,17 @@ func (s *Server) refuse(req *wire.Request, write func(*wire.Response), st wire.S
 }
 
 // execute runs one admitted request on the cluster, mapping dispatcher
-// errors to wire statuses. ctx carries the request's deadline.
-func (s *Server) execute(ctx context.Context, req *wire.Request) (wire.Status, int16, []byte) {
+// errors to wire statuses. ctx carries the request's deadline; ref the
+// request's server span (zero when the request is not sampled).
+func (s *Server) execute(ctx context.Context, req *wire.Request, ref trace.SpanRef) (wire.Status, int16, []byte) {
 	if len(req.Payload) == 0 {
 		return wire.StatusInvalidArgument, -1, []byte("empty payload")
 	}
 	var p *cluster.Pending
 	if s.batch != nil {
-		p = s.batch.submit(ctx, req)
+		p = s.batch.submit(ctx, req, ref)
 	} else {
-		p = s.cl.SubmitContext(ctx, req.Fn, req.Payload, false)
+		p = s.cl.SubmitContextTraced(ctx, req.Fn, req.Payload, false, ref)
 	}
 	select {
 	case <-p.Done():
@@ -315,10 +361,45 @@ func (s *Server) execute(ctx context.Context, req *wire.Request) (wire.Status, i
 		return wire.StatusDeadlineExceeded, -1, []byte(ctx.Err().Error())
 	}
 	res, card, err := p.Wait()
+	s.addDispatchSpans(req, ref, p, res, card)
 	if err != nil {
 		return statusOf(err), int16(card), []byte(err.Error())
 	}
 	return wire.StatusOK, int16(card), res.Output
+}
+
+// addDispatchSpans attaches the dispatcher's view of a settled job to
+// the request's trace: a queue-wait span and a service span that tile
+// the job's whole residency (their durations sum to the time between
+// enqueue and the card finishing), plus one virtual child per card
+// phase from the call's breakdown. No-op for unsampled requests.
+func (s *Server) addDispatchSpans(req *wire.Request, ref trace.SpanRef, p *cluster.Pending, res *core.CallResult, card int) {
+	if !ref.Valid() {
+		return
+	}
+	sub, st, dn := p.TraceTimes()
+	if sub == 0 || st == 0 {
+		return // never reached a worker (routing or enqueue failure)
+	}
+	s.opts.Tracer.Add(ref, trace.Span{
+		Name: "queue-wait", Layer: "cluster", Fn: req.Fn, Card: card,
+		StartNS: sub, DurNS: st - sub,
+	})
+	sref := s.opts.Tracer.Add(ref, trace.Span{
+		Name: "service", Layer: "cluster", Fn: req.Fn, Card: card,
+		StartNS: st, DurNS: dn - st,
+	})
+	if res == nil {
+		return
+	}
+	for ph := 0; ph < sim.NumPhases; ph++ {
+		if d := res.Breakdown.Get(sim.Phase(ph)); d > 0 {
+			s.opts.Tracer.Add(sref, trace.Span{
+				Name: sim.Phase(ph).String(), Layer: "card", Fn: req.Fn, Card: card,
+				VirtPS: uint64(d),
+			})
+		}
+	}
 }
 
 // statusOf maps dispatcher and context errors onto the wire vocabulary.
@@ -344,12 +425,19 @@ func statusOf(err error) wire.Status {
 // no virtual clock — stored in the same picosecond unit the virtual
 // histograms use.
 func (s *Server) observe(req *wire.Request, st wire.Status, card int16, elapsed time.Duration) {
+	s.observeTraced(req, st, card, elapsed, 0)
+}
+
+// observeTraced is observe with a trace-id exemplar: a sampled
+// request stamps its trace id onto the latency histogram, linking the
+// aggregate back to the concrete trace in /debug/traces.
+func (s *Server) observeTraced(req *wire.Request, st wire.Status, card int16, elapsed time.Duration, traceID uint64) {
 	if s.opts.Metrics != nil {
 		lbl := metrics.L("status", st.String())
 		s.opts.Metrics.Counter("agile_server_requests_total", lbl).Inc()
 		if elapsed > 0 {
 			s.opts.Metrics.Histogram("agile_server_request_seconds", lbl).
-				Observe(sim.Time(elapsed.Nanoseconds()) * sim.Nanosecond)
+				ObserveExemplar(sim.Time(elapsed.Nanoseconds())*sim.Nanosecond, traceID)
 		}
 	}
 	s.opts.Trace.Record(trace.Event{
@@ -410,4 +498,65 @@ func (s *Server) closeConns() {
 	for c := range s.conns {
 		c.Close()
 	}
+}
+
+// inflightReq is one row of the live request table: what the server is
+// working on right now, for /debug/requests.
+type inflightReq struct {
+	id      uint64
+	fn      uint16
+	conn    string
+	start   time.Time
+	traceID uint64
+}
+
+// InflightRequest is one /debug/requests row.
+type InflightRequest struct {
+	ID      uint64 `json:"id"`
+	Fn      uint16 `json:"fn"`
+	Conn    string `json:"conn"`
+	AgeMS   int64  `json:"age_ms"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// InflightRequests snapshots the live request table, oldest first.
+func (s *Server) InflightRequests() []InflightRequest {
+	now := time.Now() //lint:wallclock request age is operator-facing wall time
+	s.reqMu.Lock()
+	rows := make([]InflightRequest, 0, len(s.reqs))
+	for e := range s.reqs {
+		row := InflightRequest{
+			ID:    e.id,
+			Fn:    e.fn,
+			Conn:  e.conn,
+			AgeMS: now.Sub(e.start).Milliseconds(),
+		}
+		if e.traceID != 0 {
+			row.TraceID = "0x" + strconv.FormatUint(e.traceID, 16)
+		}
+		rows = append(rows, row)
+	}
+	s.reqMu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].AgeMS != rows[j].AgeMS {
+			return rows[i].AgeMS > rows[j].AgeMS
+		}
+		return rows[i].ID < rows[j].ID
+	})
+	return rows
+}
+
+// DebugRequestsHandler serves the in-flight request table as JSON —
+// the /debug/requests endpoint: every admitted request with its age,
+// function, source connection and (when sampled) trace id.
+func (s *Server) DebugRequestsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Inflight int               `json:"inflight"`
+			Requests []InflightRequest `json:"requests"`
+		}{Inflight: len(s.sem), Requests: s.InflightRequests()})
+	})
 }

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/client"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/trace"
+	"agilefpga/internal/wire"
+)
+
+// findSpan returns the first span named name in tr, or nil.
+func findSpan(tr *trace.Trace, name string) *trace.Span {
+	for i := range tr.Spans {
+		if tr.Spans[i].Name == name {
+			return &tr.Spans[i]
+		}
+	}
+	return nil
+}
+
+// waitCompleted polls until the tracer has filed n traces.
+func waitCompleted(t *testing.T, tr *trace.Tracer, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second) //lint:wallclock test timeout
+	for tr.Completed() < n {
+		if time.Now().After(deadline) { //lint:wallclock test timeout
+			t.Fatalf("tracer filed %d traces, want %d", tr.Completed(), n)
+		}
+		time.Sleep(time.Millisecond) //lint:wallclock test poll
+	}
+}
+
+// TestEndToEndTrace is the tentpole acceptance test: one client.Call
+// against a live server yields a single trace whose span tree walks
+// the whole request path — client call and attempt, server rpc
+// (joined over the wire trace context), cluster queue-wait and
+// service spans that tile exactly, and virtual per-phase card spans
+// under the service span.
+func TestEndToEndTrace(t *testing.T) {
+	tracer := trace.NewTracer(trace.TracerOptions{Sample: 1, Seed: 42})
+	defer tracer.Close()
+	h := newHarness(t, 1, Options{Tracer: tracer}, nil)
+	c, err := client.Dial(h.addr, client.Options{Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := algos.CRC32()
+	if _, _, err := c.Call(context.Background(), f.ID(), []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	waitCompleted(t, tracer, 1)
+	captured := tracer.Captured()
+	if len(captured) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(captured))
+	}
+	tr := captured[0]
+	if tr.Err {
+		t.Fatalf("trace marked errored: %+v", tr)
+	}
+
+	call := findSpan(tr, "call")
+	attempt := findSpan(tr, "attempt")
+	rpc := findSpan(tr, "rpc")
+	queue := findSpan(tr, "queue-wait")
+	service := findSpan(tr, "service")
+	for name, sp := range map[string]*trace.Span{
+		"call": call, "attempt": attempt, "rpc": rpc,
+		"queue-wait": queue, "service": service,
+	} {
+		if sp == nil {
+			t.Fatalf("trace is missing the %q span; got %+v", name, tr.Spans)
+		}
+	}
+
+	// Parentage: call → attempt → rpc → {queue-wait, service}.
+	if attempt.Parent != call.SpanID {
+		t.Errorf("attempt parent %#x, want call %#x", attempt.Parent, call.SpanID)
+	}
+	if rpc.Parent != attempt.SpanID {
+		t.Errorf("rpc parent %#x, want attempt %#x", rpc.Parent, attempt.SpanID)
+	}
+	if queue.Parent != rpc.SpanID || service.Parent != rpc.SpanID {
+		t.Errorf("queue/service parents %#x/%#x, want rpc %#x", queue.Parent, service.Parent, rpc.SpanID)
+	}
+
+	// Layers walk the stack.
+	if call.Layer != "client" || rpc.Layer != "server" || queue.Layer != "cluster" || service.Layer != "cluster" {
+		t.Errorf("wrong layers: call=%s rpc=%s queue=%s service=%s", call.Layer, rpc.Layer, queue.Layer, service.Layer)
+	}
+
+	// Queue wait and service time tile: the queue span ends exactly
+	// where the service span starts, so their durations sum to the
+	// dispatcher-observed latency.
+	if queue.StartNS+queue.DurNS != service.StartNS {
+		t.Errorf("queue span [%d +%d] does not abut service start %d", queue.StartNS, queue.DurNS, service.StartNS)
+	}
+
+	// Virtual card-phase spans hang off the service span; a cold CRC32
+	// call must at least execute and configure.
+	phases := map[string]bool{}
+	for _, sp := range tr.Spans {
+		if sp.Layer == "card" {
+			if sp.Parent != service.SpanID {
+				t.Errorf("card phase %q parent %#x, want service %#x", sp.Name, sp.Parent, service.SpanID)
+			}
+			if sp.VirtPS == 0 {
+				t.Errorf("card phase %q has zero virtual duration", sp.Name)
+			}
+			phases[sp.Name] = true
+		}
+	}
+	for _, want := range []string{"exec", "configure"} {
+		if !phases[want] {
+			t.Errorf("trace has no %q card phase span (got %v)", want, phases)
+		}
+	}
+}
+
+// TestServerRootsTraceForUntracedClient proves v1 interop: a client
+// that ships no wire trace context still gets a server-side trace
+// rooted at admission, and the wire exchange succeeds unchanged.
+func TestServerRootsTraceForUntracedClient(t *testing.T) {
+	tracer := trace.NewTracer(trace.TracerOptions{Sample: 1, Seed: 7})
+	defer tracer.Close()
+	h := newHarness(t, 1, Options{Tracer: tracer}, nil)
+	c, err := client.Dial(h.addr, client.Options{}) // no client tracer
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := algos.CRC32()
+	if _, _, err := c.Call(context.Background(), f.ID(), []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	waitCompleted(t, tracer, 1)
+	captured := tracer.Captured()
+	if len(captured) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(captured))
+	}
+	tr := captured[0]
+	rpc := findSpan(tr, "rpc")
+	if rpc == nil || rpc.Parent != 0 {
+		t.Fatalf("server-rooted trace must have a parentless rpc span, got %+v", tr.Spans)
+	}
+	if findSpan(tr, "call") != nil {
+		t.Fatal("untraced client cannot contribute spans")
+	}
+}
+
+// TestBatchWindowSpan proves cross-client batching is visible in each
+// member's trace: two concurrent same-function calls through a
+// BatchWindow=2 server each carry a batch-window span noting the
+// window size.
+func TestBatchWindowSpan(t *testing.T) {
+	tracer := trace.NewTracer(trace.TracerOptions{Sample: 1, Seed: 9})
+	defer tracer.Close()
+	h := newHarness(t, 1, Options{BatchWindow: 2, BatchDwell: 500 * time.Millisecond, Tracer: tracer}, nil)
+	c, err := client.Dial(h.addr, client.Options{Tracer: tracer, PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := algos.CRC32()
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(b byte) {
+			_, _, err := c.Call(context.Background(), f.ID(), []byte{b, b, b, b})
+			errc <- err
+		}(byte(i + 1))
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCompleted(t, tracer, 2)
+	captured := tracer.Captured()
+	if len(captured) != 2 {
+		t.Fatalf("captured %d traces, want 2", len(captured))
+	}
+	for _, tr := range captured {
+		win := findSpan(tr, "batch-window")
+		if win == nil {
+			t.Fatalf("trace %#x has no batch-window span", tr.TraceID)
+		}
+		if !strings.Contains(win.Note, "size=2") {
+			t.Errorf("batch-window note %q does not record size=2", win.Note)
+		}
+		rpc := findSpan(tr, "rpc")
+		if rpc == nil || win.Parent != rpc.SpanID {
+			t.Errorf("batch-window span must hang off the rpc span")
+		}
+	}
+}
+
+// TestLatencyExemplarCarriesTraceID proves the metrics link: a sampled
+// request stamps its trace id onto the server latency histogram as an
+// exemplar, and the Prometheus exposition renders it.
+func TestLatencyExemplarCarriesTraceID(t *testing.T) {
+	tracer := trace.NewTracer(trace.TracerOptions{Sample: 1, Seed: 3})
+	defer tracer.Close()
+	h := newHarness(t, 1, Options{Tracer: tracer}, nil)
+	c, err := client.Dial(h.addr, client.Options{Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := algos.CRC32()
+	if _, _, err := c.Call(context.Background(), f.ID(), []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	waitCompleted(t, tracer, 1)
+	hist := h.reg.Histogram("agile_server_request_seconds", metrics.L("status", "ok"))
+	id, _ := hist.Exemplar()
+	if id == 0 {
+		t.Fatal("latency histogram has no exemplar trace id")
+	}
+	if id != tracer.Captured()[0].TraceID {
+		t.Fatalf("exemplar trace id %#x != captured trace %#x", id, tracer.Captured()[0].TraceID)
+	}
+	var b strings.Builder
+	if _, err := h.reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# {trace_id="`) {
+		t.Fatal("Prometheus exposition has no exemplar annotation")
+	}
+}
+
+// TestDebugRequestsTable proves the live request surface: a request
+// held at admission appears in /debug/requests with its function,
+// connection and trace id, and disappears once served.
+func TestDebugRequestsTable(t *testing.T) {
+	tracer := trace.NewTracer(trace.TracerOptions{Sample: 1, Seed: 5})
+	defer tracer.Close()
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	h := newHarness(t, 1, Options{Tracer: tracer}, func(*wire.Request) {
+		entered <- struct{}{}
+		<-hold
+	})
+	c, err := client.Dial(h.addr, client.Options{Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := algos.CRC32()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Call(context.Background(), f.ID(), []byte{1, 2, 3, 4})
+		done <- err
+	}()
+	<-entered
+	rr := httptest.NewRecorder()
+	h.srv.DebugRequestsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests", nil))
+	var body struct {
+		Inflight int               `json:"inflight"`
+		Requests []InflightRequest `json:"requests"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Requests) != 1 {
+		t.Fatalf("in-flight table has %d rows, want 1: %s", len(body.Requests), rr.Body.String())
+	}
+	row := body.Requests[0]
+	if row.Fn != f.ID() || row.Conn == "" || row.TraceID == "" {
+		t.Fatalf("incomplete in-flight row: %+v", row)
+	}
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	rr = httptest.NewRecorder()
+	h.srv.DebugRequestsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Requests) != 0 {
+		t.Fatalf("served request still in table: %s", rr.Body.String())
+	}
+}
+
+// TestTracingNoVirtualTime extends the PR 2 passivity proof to the
+// tracing layer: serving the same request sequence with 100% sampling
+// and with tracing disabled produces byte-identical virtual-time
+// statistics — observation never advances any clock domain.
+func TestTracingNoVirtualTime(t *testing.T) {
+	run := func(tracer *trace.Tracer) (requests, hits uint64, phases string) {
+		h := newHarness(t, 1, Options{Tracer: tracer}, nil)
+		c, err := client.Dial(h.addr, client.Options{Tracer: tracer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 8; i++ {
+			f := algos.CRC32()
+			if i%2 == 1 {
+				f = algos.MD5()
+			}
+			if _, _, err := c.Call(context.Background(), f.ID(), []byte{1, 2, 3, 4}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := h.cl.Stats()
+		return st.Total.Requests, st.Total.Hits, st.Total.Phases.String()
+	}
+	tracer := trace.NewTracer(trace.TracerOptions{Sample: 1, Seed: 11})
+	defer tracer.Close()
+	tReq, tHits, tPhases := run(tracer)
+	uReq, uHits, uPhases := run(nil)
+	if tReq != uReq || tHits != uHits || tPhases != uPhases {
+		t.Fatalf("tracing changed virtual statistics:\ntraced:   req=%d hits=%d %s\nuntraced: req=%d hits=%d %s",
+			tReq, tHits, tPhases, uReq, uHits, uPhases)
+	}
+}

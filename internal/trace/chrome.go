@@ -126,3 +126,112 @@ func (l *Log) WriteChrome(w io.Writer) error {
 func cardName(card int) string {
 	return "card " + strconv.Itoa(card)
 }
+
+// layerTID orders a request trace's lanes top to bottom in call order:
+// client above server above cluster above card.
+func layerTID(layer string) int {
+	switch layer {
+	case "client":
+		return 0
+	case "server", "host":
+		return 1
+	case "cluster":
+		return 2
+	case "card":
+		return 3
+	}
+	return 4
+}
+
+// WriteChromeSpans renders completed request traces as Chrome
+// trace-event JSON with request-centric lanes: each trace becomes a
+// process row (named by its trace id), each layer a thread row, and
+// every span a complete event at its wall-clock offset from the
+// trace's start. Virtual card spans, which have no wall timestamps,
+// are laid end to end from their parent's start with their virtual
+// durations, so the per-phase attribution stays readable next to the
+// wall-clock spans it explains. Output is deterministic for a given
+// trace slice.
+func WriteChromeSpans(w io.Writer, traces []*Trace) error {
+	var out chromeFile
+	out.DisplayTimeUnit = "ns"
+	out.TraceEvents = []chromeEvent{}
+
+	type row struct{ pid, tid int }
+	named := make(map[row]bool)
+	nameRow := func(pid, tid int, name string) {
+		if named[row{pid, tid}] {
+			return
+		}
+		named[row{pid, tid}] = true
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for pid, tr := range traces {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": "trace " + traceIDString(tr.TraceID)},
+		})
+		// Virtual spans have no wall timestamps; they are laid end to
+		// end from their parent's offset via a per-parent cursor.
+		offsets := make(map[uint64]float64, len(tr.Spans))
+		for _, sp := range tr.Spans {
+			offsets[sp.SpanID] = float64(sp.StartNS-tr.StartNS) / 1e3
+		}
+		cursor := make(map[uint64]float64)
+		for _, sp := range tr.Spans {
+			tid := layerTID(sp.Layer)
+			nameRow(pid, tid, sp.Layer)
+			ce := chromeEvent{
+				Name: sp.Name, Cat: sp.Layer, Ph: "X",
+				PID: pid, TID: tid,
+				Args: map[string]any{"span_id": traceIDString(sp.SpanID)},
+			}
+			if sp.Parent != 0 {
+				ce.Args["parent_id"] = traceIDString(sp.Parent)
+			}
+			if sp.Fn != 0 {
+				ce.Args["fn"] = sp.Fn
+			}
+			if sp.Card != 0 {
+				ce.Args["card"] = sp.Card
+			}
+			if sp.Status != "" {
+				ce.Args["status"] = sp.Status
+			}
+			if sp.Note != "" {
+				ce.Args["note"] = sp.Note
+			}
+			if sp.Remote {
+				ce.Args["remote"] = true
+			}
+			switch {
+			case sp.VirtPS != 0 && sp.StartNS == 0:
+				// Virtual span: place after its siblings under the parent.
+				base, ok := cursor[sp.Parent]
+				if !ok {
+					base = offsets[sp.Parent]
+				}
+				ce.TS = base
+				ce.Dur = psToUS(sp.VirtPS)
+				cursor[sp.Parent] = base + ce.Dur
+				ce.Args["virtual"] = true
+			default:
+				ce.TS = offsets[sp.SpanID]
+				ce.Dur = float64(sp.DurNS) / 1e3
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}
+
+// traceIDString formats ids the way trace UIs and log greps expect.
+func traceIDString(id uint64) string {
+	return "0x" + strconv.FormatUint(id, 16)
+}

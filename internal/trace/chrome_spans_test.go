@@ -1,0 +1,315 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// spanSession is a small deterministic captured-trace fixture: one
+// traced request with the full layer stack (client call + attempt,
+// server rpc, cluster queue/service split, virtual card phases) and a
+// second, errored trace from a remote client.
+func spanSession() []*Trace {
+	return []*Trace{
+		{
+			TraceID: 0xABC, StartNS: 1_000_000_000, DurNS: 5_000,
+			Spans: []Span{
+				{SpanID: 1, Name: "call", Layer: "client", Fn: 3, StartNS: 1_000_000_000, DurNS: 5_000, Status: "ok"},
+				{SpanID: 2, Parent: 1, Name: "attempt", Layer: "client", Fn: 3, StartNS: 1_000_000_500, DurNS: 4_000, Status: "ok"},
+				{SpanID: 3, Parent: 2, Name: "rpc", Layer: "server", Fn: 3, StartNS: 1_000_001_000, DurNS: 3_000, Status: "ok"},
+				{SpanID: 4, Parent: 3, Name: "queue-wait", Layer: "cluster", Fn: 3, Card: 1, StartNS: 1_000_001_200, DurNS: 800},
+				{SpanID: 5, Parent: 3, Name: "service", Layer: "cluster", Fn: 3, Card: 1, StartNS: 1_000_002_000, DurNS: 1_500, Status: "ok"},
+				{SpanID: 6, Parent: 5, Name: "configure", Layer: "card", Fn: 3, Card: 1, VirtPS: 2_000_000},
+				{SpanID: 7, Parent: 5, Name: "exec", Layer: "card", Fn: 3, Card: 1, VirtPS: 500_000},
+			},
+		},
+		{
+			TraceID: 0xDEF, StartNS: 2_000_000_000, DurNS: 900, Err: true,
+			Spans: []Span{
+				{SpanID: 0x10, Name: "attempt", Layer: "client", Fn: 9, Remote: true, StartNS: 2_000_000_000},
+				{SpanID: 0x11, Parent: 0x10, Name: "rpc", Layer: "server", Fn: 9, StartNS: 2_000_000_000, DurNS: 900,
+					Status: "resource_exhausted", Note: "admission refused"},
+			},
+		},
+	}
+}
+
+// spansGolden is the expected request-centric export of spanSession.
+// The format is deterministic, so any diff is a real behaviour change;
+// regenerate by pasting fresh output after an intentional one.
+const spansGolden = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "name": "trace 0xabc"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "name": "client"
+   }
+  },
+  {
+   "name": "call",
+   "cat": "client",
+   "ph": "X",
+   "ts": 0,
+   "dur": 5,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "fn": 3,
+    "span_id": "0x1",
+    "status": "ok"
+   }
+  },
+  {
+   "name": "attempt",
+   "cat": "client",
+   "ph": "X",
+   "ts": 0.5,
+   "dur": 4,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "fn": 3,
+    "parent_id": "0x1",
+    "span_id": "0x2",
+    "status": "ok"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 1,
+   "args": {
+    "name": "server"
+   }
+  },
+  {
+   "name": "rpc",
+   "cat": "server",
+   "ph": "X",
+   "ts": 1,
+   "dur": 3,
+   "pid": 0,
+   "tid": 1,
+   "args": {
+    "fn": 3,
+    "parent_id": "0x2",
+    "span_id": "0x3",
+    "status": "ok"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 2,
+   "args": {
+    "name": "cluster"
+   }
+  },
+  {
+   "name": "queue-wait",
+   "cat": "cluster",
+   "ph": "X",
+   "ts": 1.2,
+   "dur": 0.8,
+   "pid": 0,
+   "tid": 2,
+   "args": {
+    "card": 1,
+    "fn": 3,
+    "parent_id": "0x3",
+    "span_id": "0x4"
+   }
+  },
+  {
+   "name": "service",
+   "cat": "cluster",
+   "ph": "X",
+   "ts": 2,
+   "dur": 1.5,
+   "pid": 0,
+   "tid": 2,
+   "args": {
+    "card": 1,
+    "fn": 3,
+    "parent_id": "0x3",
+    "span_id": "0x5",
+    "status": "ok"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 3,
+   "args": {
+    "name": "card"
+   }
+  },
+  {
+   "name": "configure",
+   "cat": "card",
+   "ph": "X",
+   "ts": 2,
+   "dur": 2,
+   "pid": 0,
+   "tid": 3,
+   "args": {
+    "card": 1,
+    "fn": 3,
+    "parent_id": "0x5",
+    "span_id": "0x6",
+    "virtual": true
+   }
+  },
+  {
+   "name": "exec",
+   "cat": "card",
+   "ph": "X",
+   "ts": 4,
+   "dur": 0.5,
+   "pid": 0,
+   "tid": 3,
+   "args": {
+    "card": 1,
+    "fn": 3,
+    "parent_id": "0x5",
+    "span_id": "0x7",
+    "virtual": true
+   }
+  },
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "trace 0xdef"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "client"
+   }
+  },
+  {
+   "name": "attempt",
+   "cat": "client",
+   "ph": "X",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "fn": 9,
+    "remote": true,
+    "span_id": "0x10"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "name": "server"
+   }
+  },
+  {
+   "name": "rpc",
+   "cat": "server",
+   "ph": "X",
+   "ts": 0,
+   "dur": 0.9,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "fn": 9,
+    "note": "admission refused",
+    "parent_id": "0x10",
+    "span_id": "0x11",
+    "status": "resource_exhausted"
+   }
+  }
+ ],
+ "displayTimeUnit": "ns"
+}
+`
+
+func TestChromeSpansGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, spanSession()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != spansGolden {
+		t.Errorf("request-centric chrome export drifted from golden.\ngot:\n%s", buf.String())
+	}
+}
+
+// TestChromeSpansShape checks the structural invariants a trace UI
+// depends on: every span lands on its layer's lane, virtual card spans
+// tile end to end starting at their parent's offset, and wall offsets
+// are relative to the trace's own start (each request starts at ~0).
+func TestChromeSpansShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, spanSession()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var virtTS []float64
+	var firstWallTS = map[float64]float64{}
+	for _, e := range parsed.TraceEvents {
+		if e["ph"] != "X" {
+			continue
+		}
+		args := e["args"].(map[string]any)
+		if args["virtual"] == true {
+			virtTS = append(virtTS, e["ts"].(float64))
+			if e["tid"].(float64) != 3 {
+				t.Errorf("virtual span off the card lane: %v", e)
+			}
+		}
+		pid := e["pid"].(float64)
+		if _, ok := firstWallTS[pid]; !ok {
+			firstWallTS[pid] = e["ts"].(float64)
+		}
+	}
+	if len(virtTS) != 2 || virtTS[0] != 2 || virtTS[1] != 4 {
+		t.Errorf("virtual spans not tiled from the service offset: %v", virtTS)
+	}
+	for pid, ts := range firstWallTS {
+		if ts != 0 {
+			t.Errorf("trace %v does not start at offset 0 (ts=%v)", pid, ts)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"agilefpga/internal/testutil"
+)
+
+// TestMain fails the package if any tracer collector goroutine
+// outlives its test: every NewTracer in the suite must be balanced by
+// a Close that actually stops and drains the collector.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := testutil.CheckGoroutineLeaks(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -38,17 +38,22 @@ const (
 // Event is one log entry. TimePS is the card's virtual time in
 // picoseconds at the moment of recording; DurPS, set only on span
 // events, is the phase's virtual duration. Card identifies the emitting
-// card in a cluster (0 for a single-card system).
+// card in a cluster (0 for a single-card system). TraceID/SpanID, set
+// when the serving request carried distributed-trace context, attach
+// the card-side record to the owning request's span tree (the span id
+// is the request's cluster service span).
 type Event struct {
-	Seq    uint64 `json:"seq"`
-	TimePS uint64 `json:"time_ps"`
-	Kind   Kind   `json:"kind"`
-	Fn     uint16 `json:"fn,omitempty"`
-	Frames int    `json:"frames,omitempty"`
-	Bytes  int    `json:"bytes,omitempty"`
-	Detail string `json:"detail,omitempty"`
-	Card   int    `json:"card,omitempty"`
-	DurPS  uint64 `json:"dur_ps,omitempty"`
+	Seq     uint64 `json:"seq"`
+	TimePS  uint64 `json:"time_ps"`
+	Kind    Kind   `json:"kind"`
+	Fn      uint16 `json:"fn,omitempty"`
+	Frames  int    `json:"frames,omitempty"`
+	Bytes   int    `json:"bytes,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	Card    int    `json:"card,omitempty"`
+	DurPS   uint64 `json:"dur_ps,omitempty"`
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // Log is an in-memory event recorder. The zero value is ready to use; a

@@ -39,6 +39,19 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(pipelined(9, 9))
 	two := pipelined(3, 4)
 	f.Add(two[:len(two)-5])
+	// Trace context present, absent, and truncated mid-context: the
+	// traced frame must round-trip canonically, the truncation must be
+	// rejected before the payload-length cross-check can mislead.
+	traced := AppendRequest(nil, &Request{ID: 11, Fn: 4, Deadline: time.Second,
+		Payload: []byte("ctx"), Trace: TraceContext{TraceID: 0xDEAD, SpanID: 0xBEEF, Flags: FlagSampled}})
+	f.Add(traced)
+	f.Add(AppendRequest(nil, &Request{ID: 11, Fn: 4, Deadline: time.Second, Payload: []byte("ctx")}))
+	f.Add(traced[:lenPrefix+requestHeaderLen+5])
+	// Malformed context in a well-formed traced frame: zero trace id
+	// and undefined flag bits are both non-canonical (the encoder would
+	// never emit them) and must be rejected, not silently accepted.
+	f.Add(malformedTrace(0, 7, 0))
+	f.Add(malformedTrace(3, 7, 0x80))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, n, err := DecodeRequest(data)
@@ -121,6 +134,26 @@ func pipelined(id1, id2 uint64) []byte {
 func pipelinedResponses(id1, id2 uint64) []byte {
 	b := AppendResponse(nil, &Response{ID: id1, Status: StatusOK, Card: 0, Payload: []byte("one")})
 	return AppendResponse(b, &Response{ID: id2, Status: StatusOK, Card: 1, Payload: []byte("two")})
+}
+
+// malformedTrace hand-assembles a VersionTraced request frame carrying
+// the given context verbatim — shapes the encoder refuses to emit
+// (zero trace id, undefined flag bits) that the decoder must reject to
+// keep decode ∘ encode the identity.
+func malformedTrace(traceID, spanID uint64, flags uint8) []byte {
+	payload := []byte("p")
+	b := make([]byte, 0, lenPrefix+requestHeaderLenTraced+len(payload))
+	b = binary.BigEndian.AppendUint32(b, uint32(requestHeaderLenTraced+len(payload)))
+	b = binary.BigEndian.AppendUint16(b, Magic)
+	b = append(b, VersionTraced, TypeRequest)
+	b = binary.BigEndian.AppendUint64(b, 1) // id
+	b = binary.BigEndian.AppendUint16(b, 7) // fn
+	b = binary.BigEndian.AppendUint64(b, 0) // deadline
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint64(b, traceID)
+	b = binary.BigEndian.AppendUint64(b, spanID)
+	b = append(b, flags)
+	return append(b, payload...)
 }
 
 // oversizedHeader builds a frame header of the given type whose payload

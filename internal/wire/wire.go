@@ -21,6 +21,17 @@
 // payload is the function output on StatusOK and a human-readable
 // diagnostic otherwise.
 //
+// Trace context is version-gated: a request carrying distributed-trace
+// context (trace id, parent span id, flag bits) is encoded as a
+// VersionTraced frame whose header grows by TraceContextLen bytes
+// between the payload-length field and the payload; a request without
+// context encodes as the original Version frame, byte-identical to
+// pre-trace builds, so old peers interoperate as long as tracing is
+// off or sampled out. Decoders accept both versions but are strict
+// about canonical form: a VersionTraced frame whose context would
+// never have been emitted (zero trace id, unknown flag bits) is
+// rejected with ErrBadTraceContext.
+//
 // Decoding is strict: bad magic, unknown version, wrong frame type,
 // oversized frames and length mismatches are each rejected with a
 // distinct sentinel error, and a successful decode re-encodes to the
@@ -42,6 +53,11 @@ const (
 	Magic   = 0xA61E
 	Version = 1
 
+	// VersionTraced marks a request frame whose header carries trace
+	// context. Responses are never traced on the wire (the reply rides
+	// the request's span), so VersionTraced is a request-only version.
+	VersionTraced = 2
+
 	TypeRequest  = 1
 	TypeResponse = 2
 
@@ -50,11 +66,25 @@ const (
 	// memory.
 	MaxPayload = 16 << 20
 
+	// TraceContextLen is the size of the trace-context header
+	// extension a VersionTraced request carries: trace id (8), parent
+	// span id (8), flags (1).
+	TraceContextLen = 8 + 8 + 1
+
+	// FlagSampled marks a trace the originator decided to record; a
+	// server joins the trace rather than re-rolling its own sampling
+	// decision. It is the only flag bit defined; decoders reject the
+	// rest so the canonical-form property survives the extension.
+	FlagSampled = 0x01
+
+	traceFlagsMask = FlagSampled
+
 	// lenPrefix is the length-prefix size; the header sizes count the
 	// bytes between the prefix and the payload.
-	lenPrefix         = 4
-	requestHeaderLen  = 2 + 1 + 1 + 8 + 2 + 8 + 4 // magic ver type id fn deadline paylen
-	responseHeaderLen = 2 + 1 + 1 + 8 + 1 + 2 + 4 // magic ver type id status card paylen
+	lenPrefix              = 4
+	requestHeaderLen       = 2 + 1 + 1 + 8 + 2 + 8 + 4 // magic ver type id fn deadline paylen
+	requestHeaderLenTraced = requestHeaderLen + TraceContextLen
+	responseHeaderLen      = 2 + 1 + 1 + 8 + 1 + 2 + 4 // magic ver type id status card paylen
 )
 
 // Decode errors.
@@ -66,6 +96,10 @@ var (
 	ErrBadType        = errors.New("wire: unexpected frame type")
 	ErrLengthMismatch = errors.New("wire: frame/payload length mismatch")
 	ErrBadDeadline    = errors.New("wire: deadline overflows int64 nanoseconds")
+	// ErrBadTraceContext rejects a VersionTraced frame whose context is
+	// not canonical: a zero trace id (the encoder would have emitted a
+	// Version frame) or undefined flag bits.
+	ErrBadTraceContext = errors.New("wire: malformed trace context")
 )
 
 // Status codes a response can carry.
@@ -110,14 +144,35 @@ func (s Status) Retryable() bool {
 	return s == StatusResourceExhausted || s == StatusUnavailable
 }
 
+// TraceContext is the distributed-trace context a request can carry
+// across the wire: the trace the call belongs to, the caller-side span
+// that is this request's parent (the client's per-attempt span), and
+// flag bits (FlagSampled). The zero TraceContext means "no context"
+// and encodes as a plain Version frame.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+}
+
+// Valid reports whether the context carries a trace. A zero trace id
+// is reserved as the absent value, mirroring W3C traceparent.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// Sampled reports whether the originator decided to record this trace.
+func (tc TraceContext) Sampled() bool { return tc.Flags&FlagSampled != 0 }
+
 // Request is one call: run function Fn over Payload, answering under
 // Deadline (a relative budget; 0 = no deadline). ID is chosen by the
 // client and echoed in the response so a connection can pipeline.
+// Trace, when Valid, propagates the caller's trace context
+// (version-gating the frame to VersionTraced).
 type Request struct {
 	ID       uint64
 	Fn       uint16
 	Deadline time.Duration
 	Payload  []byte
+	Trace    TraceContext
 }
 
 // Response answers one request. Card is the serving card index, -1 when
@@ -162,11 +217,17 @@ func putBuf(bp *[]byte) {
 	}
 }
 
-// AppendRequest appends req's canonical encoding to dst.
+// AppendRequest appends req's canonical encoding to dst: a Version
+// frame when req.Trace is absent, a VersionTraced frame carrying the
+// context otherwise.
 func AppendRequest(dst []byte, req *Request) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(requestHeaderLen+len(req.Payload)))
+	headerLen, version := requestHeaderLen, byte(Version)
+	if req.Trace.Valid() {
+		headerLen, version = requestHeaderLenTraced, VersionTraced
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerLen+len(req.Payload)))
 	dst = binary.BigEndian.AppendUint16(dst, Magic)
-	dst = append(dst, Version, TypeRequest)
+	dst = append(dst, version, TypeRequest)
 	dst = binary.BigEndian.AppendUint64(dst, req.ID)
 	dst = binary.BigEndian.AppendUint16(dst, req.Fn)
 	dl := req.Deadline
@@ -175,6 +236,11 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	}
 	dst = binary.BigEndian.AppendUint64(dst, uint64(dl.Nanoseconds()))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Payload)))
+	if req.Trace.Valid() {
+		dst = binary.BigEndian.AppendUint64(dst, req.Trace.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, req.Trace.SpanID)
+		dst = append(dst, req.Trace.Flags&traceFlagsMask)
+	}
 	return append(dst, req.Payload...)
 }
 
@@ -192,29 +258,39 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 
 // checkFrame validates the length prefix and the common header shared
 // by both frame types, returning the frame body (everything after the
-// prefix).
-func checkFrame(b []byte, wantType byte, headerLen int) ([]byte, error) {
+// prefix) and the header length for the frame's version. tracedLen is
+// the header length of a VersionTraced frame, or headerLen itself for
+// frame types that have no traced form (responses), in which case
+// VersionTraced is rejected like any other unknown version.
+func checkFrame(b []byte, wantType byte, headerLen, tracedLen int) ([]byte, int, error) {
 	if len(b) < lenPrefix {
-		return nil, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	frameLen := int(binary.BigEndian.Uint32(b))
-	if frameLen > headerLen+MaxPayload {
-		return nil, ErrOversized
+	if frameLen > tracedLen+MaxPayload {
+		return nil, 0, ErrOversized
 	}
 	if frameLen < headerLen || len(b)-lenPrefix < frameLen {
-		return nil, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	body := b[lenPrefix : lenPrefix+frameLen]
 	if binary.BigEndian.Uint16(body) != Magic {
-		return nil, ErrBadMagic
+		return nil, 0, ErrBadMagic
 	}
-	if body[2] != Version {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, body[2], Version)
+	switch {
+	case body[2] == Version:
+	case body[2] == VersionTraced && tracedLen > headerLen:
+		headerLen = tracedLen
+		if frameLen < headerLen {
+			return nil, 0, ErrTruncated
+		}
+	default:
+		return nil, 0, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, body[2], Version)
 	}
 	if body[3] != wantType {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadType, body[3], wantType)
+		return nil, 0, fmt.Errorf("%w: got %d, want %d", ErrBadType, body[3], wantType)
 	}
-	return body, nil
+	return body, headerLen, nil
 }
 
 // DecodeRequestInto decodes one request frame from the front of b into
@@ -223,23 +299,33 @@ func checkFrame(b []byte, wantType byte, headerLen int) ([]byte, error) {
 // incomplete buffer yields ErrTruncated, so stream decoders can read
 // more and retry.
 func DecodeRequestInto(req *Request, b []byte) (int, error) {
-	body, err := checkFrame(b, TypeRequest, requestHeaderLen)
+	body, headerLen, err := checkFrame(b, TypeRequest, requestHeaderLen, requestHeaderLenTraced)
 	if err != nil {
 		return 0, err
 	}
 	payLen := int(binary.BigEndian.Uint32(body[22:26]))
-	if payLen != len(body)-requestHeaderLen {
+	if payLen != len(body)-headerLen {
 		return 0, fmt.Errorf("%w: header says %d, frame carries %d",
-			ErrLengthMismatch, payLen, len(body)-requestHeaderLen)
+			ErrLengthMismatch, payLen, len(body)-headerLen)
 	}
 	dlNs := binary.BigEndian.Uint64(body[14:22])
 	if dlNs > math.MaxInt64 {
 		return 0, ErrBadDeadline
 	}
+	if headerLen == requestHeaderLenTraced {
+		req.Trace.TraceID = binary.BigEndian.Uint64(body[26:34])
+		req.Trace.SpanID = binary.BigEndian.Uint64(body[34:42])
+		req.Trace.Flags = body[42]
+		if !req.Trace.Valid() || req.Trace.Flags&^uint8(traceFlagsMask) != 0 {
+			return 0, ErrBadTraceContext
+		}
+	} else {
+		req.Trace = TraceContext{}
+	}
 	req.ID = binary.BigEndian.Uint64(body[4:12])
 	req.Fn = binary.BigEndian.Uint16(body[12:14])
 	req.Deadline = time.Duration(dlNs)
-	req.Payload = body[requestHeaderLen:]
+	req.Payload = body[headerLen:]
 	return lenPrefix + len(body), nil
 }
 
@@ -260,7 +346,7 @@ func DecodeRequest(b []byte) (*Request, int, error) {
 // into *resp without copying: resp.Payload aliases b. It returns the
 // bytes consumed.
 func DecodeResponseInto(resp *Response, b []byte) (int, error) {
-	body, err := checkFrame(b, TypeResponse, responseHeaderLen)
+	body, _, err := checkFrame(b, TypeResponse, responseHeaderLen, responseHeaderLen)
 	if err != nil {
 		return 0, err
 	}
@@ -295,7 +381,7 @@ func WriteRequest(w io.Writer, req *Request) error {
 	if len(req.Payload) > MaxPayload {
 		return ErrOversized
 	}
-	bp := getBuf(lenPrefix + requestHeaderLen + len(req.Payload))
+	bp := getBuf(lenPrefix + requestHeaderLenTraced + len(req.Payload))
 	*bp = AppendRequest(*bp, req)
 	_, err := w.Write(*bp)
 	putBuf(bp)
@@ -315,10 +401,11 @@ func WriteResponse(w io.Writer, resp *Response) error {
 }
 
 // readFrame reads one length-prefixed frame from r into a pooled
-// buffer. The length prefix is bounds-checked before the body is sized.
+// buffer. The length prefix is bounds-checked before the body is sized
+// (maxHeaderLen is the largest header any accepted version carries).
 // The caller must putBuf the returned buffer once the frame is decoded
 // (both decoders copy the payload out, so recycling is safe).
-func readFrame(r io.Reader, headerLen int) (*[]byte, error) {
+func readFrame(r io.Reader, headerLen, maxHeaderLen int) (*[]byte, error) {
 	// The prefix is read straight into the pooled buffer: a local
 	// array would escape through the io.Reader interface and cost an
 	// allocation per frame.
@@ -328,7 +415,7 @@ func readFrame(r io.Reader, headerLen int) (*[]byte, error) {
 		return nil, err // io.EOF at a frame boundary = clean close
 	}
 	frameLen := int(binary.BigEndian.Uint32((*bp)[:lenPrefix]))
-	if frameLen > headerLen+MaxPayload {
+	if frameLen > maxHeaderLen+MaxPayload {
 		putBuf(bp)
 		return nil, ErrOversized
 	}
@@ -377,7 +464,7 @@ func (f Frame) Release() {
 // written). This is the zero-allocation read path the server runs per
 // request.
 func ReadRequestFrame(r io.Reader, req *Request) (Frame, error) {
-	bp, err := readFrame(r, requestHeaderLen)
+	bp, err := readFrame(r, requestHeaderLen, requestHeaderLenTraced)
 	if err != nil {
 		return Frame{}, err
 	}
@@ -391,7 +478,7 @@ func ReadRequestFrame(r io.Reader, req *Request) (Frame, error) {
 // ReadResponseFrame is the response-side zero-copy read:
 // resp.Payload aliases the returned Frame until Release.
 func ReadResponseFrame(r io.Reader, resp *Response) (Frame, error) {
-	bp, err := readFrame(r, responseHeaderLen)
+	bp, err := readFrame(r, responseHeaderLen, responseHeaderLen)
 	if err != nil {
 		return Frame{}, err
 	}
@@ -407,7 +494,7 @@ func ReadResponseFrame(r io.Reader, resp *Response) (Frame, error) {
 // ErrTruncated. The payload is copied, so the request owns its memory
 // (the zero-copy variant is ReadRequestFrame).
 func ReadRequest(r io.Reader) (*Request, error) {
-	bp, err := readFrame(r, requestHeaderLen)
+	bp, err := readFrame(r, requestHeaderLen, requestHeaderLenTraced)
 	if err != nil {
 		return nil, err
 	}
@@ -418,7 +505,7 @@ func ReadRequest(r io.Reader) (*Request, error) {
 
 // ReadResponse reads and decodes one response frame from r.
 func ReadResponse(r io.Reader) (*Response, error) {
-	bp, err := readFrame(r, responseHeaderLen)
+	bp, err := readFrame(r, responseHeaderLen, responseHeaderLen)
 	if err != nil {
 		return nil, err
 	}

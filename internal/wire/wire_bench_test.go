@@ -149,3 +149,58 @@ func BenchmarkRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServerRequestPathTraced is BenchmarkServerRequestPath with
+// trace context on the frame — the wire cost of a sampled request. The
+// trace header rides the pooled buffers, so this path must also hold
+// 0 allocs/op (the CI alloc gate's RequestPath prefix covers it).
+func BenchmarkServerRequestPathTraced(b *testing.B) {
+	frame := AppendRequest(nil, &Request{ID: 42, Fn: 7, Payload: benchPayload(4096),
+		Trace: TraceContext{TraceID: 0xF00D, SpanID: 0xCAFE, Flags: FlagSampled}})
+	rd := bytes.NewReader(frame)
+	var req Request
+	var resp Response
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		rd.Reset(frame)
+		fr, err := ReadRequestFrame(rd, &req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !req.Trace.Valid() || !req.Trace.Sampled() {
+			b.Fatal("trace context lost on the read path")
+		}
+		resp.ID, resp.Status, resp.Card, resp.Payload = req.ID, StatusOK, 0, req.Payload
+		if err := WriteResponse(io.Discard, &resp); err != nil {
+			b.Fatal(err)
+		}
+		fr.Release()
+	}
+}
+
+// BenchmarkClientRequestPathTraced is the client-side twin: encoding
+// the context costs 17 header bytes, never an allocation.
+func BenchmarkClientRequestPathTraced(b *testing.B) {
+	req := &Request{ID: 42, Fn: 7, Payload: benchPayload(4096),
+		Trace: TraceContext{TraceID: 0xF00D, SpanID: 0xCAFE, Flags: FlagSampled}}
+	frame := AppendResponse(nil, &Response{ID: 42, Status: StatusOK, Card: 1, Payload: benchPayload(4096)})
+	rd := bytes.NewReader(frame)
+	var resp Response
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		if err := WriteRequest(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+		rd.Reset(frame)
+		fr, err := ReadResponseFrame(rd, &resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.ID != req.ID {
+			b.Fatal("id mismatch")
+		}
+		fr.Release()
+	}
+}

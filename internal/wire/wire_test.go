@@ -124,7 +124,9 @@ func TestDecodeWrongType(t *testing.T) {
 
 func TestDecodeOversized(t *testing.T) {
 	b := AppendRequest(nil, &Request{ID: 5, Fn: 1, Payload: []byte("x")})
-	binary.BigEndian.PutUint32(b, uint32(requestHeaderLen+MaxPayload+1))
+	// The oversize bound allows for the largest accepted header (the
+	// traced form); one byte past it must reject before allocating.
+	binary.BigEndian.PutUint32(b, uint32(requestHeaderLenTraced+MaxPayload+1))
 	if _, _, err := DecodeRequest(b); !errors.Is(err, ErrOversized) {
 		t.Fatalf("err = %v, want ErrOversized", err)
 	}
@@ -248,5 +250,82 @@ func TestStatusStrings(t *testing.T) {
 	}
 	if StatusOK.Retryable() || StatusInternal.Retryable() || StatusInvalidArgument.Retryable() {
 		t.Fatal("non-transient statuses must not be retryable")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xA1B2C3D4E5F60718, SpanID: 0x1122334455667788, Flags: FlagSampled}
+	in := &Request{ID: 77, Fn: 9, Deadline: 250 * time.Millisecond, Payload: []byte("traced"), Trace: tc}
+	b := AppendRequest(nil, in)
+	if b[lenPrefix+2] != VersionTraced {
+		t.Fatalf("traced request encoded as version %d, want %d", b[lenPrefix+2], VersionTraced)
+	}
+	out, n, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d", n, len(b))
+	}
+	if out.Trace != tc {
+		t.Fatalf("trace context = %+v, want %+v", out.Trace, tc)
+	}
+	if out.ID != in.ID || out.Fn != in.Fn || out.Deadline != in.Deadline || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("request fields lost through traced encoding: %+v", out)
+	}
+	if reenc := AppendRequest(nil, out); !bytes.Equal(reenc, b) {
+		t.Fatalf("traced frame not canonical:\n in  %x\n out %x", b, reenc)
+	}
+	// An untraced request must stay byte-identical to the pre-trace
+	// encoding (Version 1), so old peers interoperate.
+	plain := AppendRequest(nil, &Request{ID: 77, Fn: 9, Deadline: 250 * time.Millisecond, Payload: []byte("traced")})
+	if plain[lenPrefix+2] != Version {
+		t.Fatalf("untraced request encoded as version %d, want %d", plain[lenPrefix+2], Version)
+	}
+	if len(plain) != len(b)-TraceContextLen {
+		t.Fatalf("traced header overhead = %d bytes, want %d", len(b)-len(plain), TraceContextLen)
+	}
+	// Decoding a plain frame into a reused Request must clear stale
+	// context from a previous traced decode.
+	var reused Request
+	if _, err := DecodeRequestInto(&reused, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequestInto(&reused, plain); err != nil {
+		t.Fatal(err)
+	}
+	if reused.Trace.Valid() {
+		t.Fatalf("stale trace context survived an untraced decode: %+v", reused.Trace)
+	}
+}
+
+func TestTraceContextRejectsMalformed(t *testing.T) {
+	// Zero trace id: the absent-context value must never ride a traced
+	// frame (the encoder emits Version 1 for it).
+	if _, _, err := DecodeRequest(malformedTrace(0, 5, FlagSampled)); !errors.Is(err, ErrBadTraceContext) {
+		t.Fatalf("zero trace id err = %v, want ErrBadTraceContext", err)
+	}
+	// Undefined flag bits are non-canonical.
+	if _, _, err := DecodeRequest(malformedTrace(5, 5, 0x02)); !errors.Is(err, ErrBadTraceContext) {
+		t.Fatalf("unknown flags err = %v, want ErrBadTraceContext", err)
+	}
+	// A frame cut mid-context is truncated, not length-mismatched.
+	traced := AppendRequest(nil, &Request{ID: 1, Fn: 1, Payload: []byte("x"),
+		Trace: TraceContext{TraceID: 9, SpanID: 8, Flags: FlagSampled}})
+	cut := traced[:lenPrefix+requestHeaderLen+4]
+	binary.BigEndian.PutUint32(cut, uint32(len(cut)-lenPrefix))
+	if _, _, err := DecodeRequest(cut); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated context err = %v, want ErrTruncated", err)
+	}
+	// Responses have no traced form: a VersionTraced response frame is
+	// an unknown version.
+	resp := AppendResponse(nil, &Response{ID: 1, Status: StatusOK, Card: 0, Payload: []byte("y")})
+	resp[lenPrefix+2] = VersionTraced
+	if _, _, err := DecodeResponse(resp); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("traced response err = %v, want ErrBadVersion", err)
+	}
+	// The sampled bit must survive the round trip and be readable.
+	if !(TraceContext{TraceID: 1, Flags: FlagSampled}).Sampled() || (TraceContext{TraceID: 1}).Sampled() {
+		t.Fatal("Sampled() does not reflect FlagSampled")
 	}
 }

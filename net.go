@@ -3,6 +3,7 @@ package agilefpga
 import (
 	"context"
 	"net"
+	"net/http"
 	"time"
 
 	"agilefpga/internal/algos"
@@ -30,6 +31,11 @@ type NetOptions struct {
 	// — it bounds real latency added at the network edge — and never
 	// touches the simulation's virtual clocks.
 	BatchDwell time.Duration
+	// Tracer, if set, traces served requests: each sampled request gets
+	// a server span tree (admission, queue wait, card service, virtual
+	// phases), joining the client's trace when the wire frame carried
+	// context. See NewTracer.
+	Tracer *Tracer
 }
 
 // NetServer is a running network front end over a Cluster (see Serve).
@@ -59,6 +65,7 @@ func Serve(addr string, cl *Cluster, opts NetOptions) (*NetServer, error) {
 		BatchWindow: opts.BatchWindow,
 		BatchDwell:  opts.BatchDwell,
 		Metrics:     cl.inner.Metrics(),
+		Tracer:      opts.Tracer.tracer(),
 	})
 	ns := &NetServer{srv: srv, addr: ln.Addr(), done: make(chan error, 1)}
 	go func() { ns.done <- srv.Serve(ln) }()
@@ -67,6 +74,13 @@ func Serve(addr string, cl *Cluster, opts NetOptions) (*NetServer, error) {
 
 // Addr reports the listening address (useful with ":0").
 func (s *NetServer) Addr() string { return s.addr.String() }
+
+// DebugRequestsHandler serves the live in-flight request table as
+// JSON — mount it at /debug/requests: every admitted request with its
+// age, function, source connection and (when sampled) trace id.
+func (s *NetServer) DebugRequestsHandler() http.Handler {
+	return s.srv.DebugRequestsHandler()
+}
 
 // Shutdown gracefully drains the server: the listener closes, new
 // requests are refused, in-flight requests complete and flush their
@@ -106,6 +120,10 @@ type DialOptions struct {
 	// JitterSeed seeds the backoff jitter PRNG so retry schedules are
 	// reproducible in tests; 0 (the default) draws a random seed.
 	JitterSeed uint64
+	// Tracer, if set, traces calls: each sampled Call roots a span,
+	// every attempt becomes a child span, and the trace context rides
+	// the wire so server-side spans join the same trace. See NewTracer.
+	Tracer *Tracer
 }
 
 // NetClient is a multiplexing, retrying connection to a NetServer (or
@@ -125,6 +143,7 @@ func Dial(addr string, opts DialOptions) (*NetClient, error) {
 		BaseBackoff: opts.BaseBackoff,
 		MaxBackoff:  opts.MaxBackoff,
 		JitterSeed:  opts.JitterSeed,
+		Tracer:      opts.Tracer.tracer(),
 	})
 	if err != nil {
 		return nil, err

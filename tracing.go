@@ -1,0 +1,104 @@
+package agilefpga
+
+import (
+	"io"
+	"net/http"
+
+	"agilefpga/internal/trace"
+)
+
+// TracerOptions configures request tracing (see NewTracer). The zero
+// value of every field selects a default.
+type TracerOptions struct {
+	// Sample is the head-sampling probability in [0, 1]: the chance a
+	// new request is traced at the source. 0 disables tracing; 1 traces
+	// everything. Tail capture (the slowest-N and error rings) only
+	// sees what head sampling let through.
+	Sample float64
+	// TailN bounds the slowest-N trace ring (default 16).
+	TailN int
+	// ErrorN bounds the errored-trace ring (default 32).
+	ErrorN int
+	// RecentN bounds the most-recently-completed ring (default 64).
+	RecentN int
+	// Seed fixes trace-id generation and sampling decisions for
+	// reproducible tests; 0 (the default) seeds from the clock.
+	Seed uint64
+}
+
+// Tracer is a distributed request tracer: attach one to a network
+// client (DialOptions.Tracer) and server (NetOptions.Tracer) and every
+// sampled Call becomes a span tree walking the whole request path —
+// client attempt, wire hop, server admission, cluster queue wait,
+// card service, and the card's virtual per-phase breakdown. Trace
+// context rides the wire protocol, so client and server may live in
+// different processes and still assemble the same trace.
+//
+// Tracing is passive: span recording never advances a virtual clock
+// domain, and unsampled requests take a zero-allocation no-op path.
+type Tracer struct {
+	inner *trace.Tracer
+}
+
+// NewTracer starts a tracer and its collector. Close it when done.
+func NewTracer(opts TracerOptions) *Tracer {
+	return &Tracer{inner: trace.NewTracer(trace.TracerOptions{
+		Sample:  opts.Sample,
+		TailN:   opts.TailN,
+		ErrorN:  opts.ErrorN,
+		RecentN: opts.RecentN,
+		Seed:    opts.Seed,
+	})}
+}
+
+// Close stops the collector, draining pending completions into the
+// capture rings. Idempotent; safe on a nil Tracer.
+func (t *Tracer) Close() {
+	if t != nil {
+		t.inner.Close()
+	}
+}
+
+// Handler serves the captured traces — mount it at /debug/traces.
+// JSON by default; ?format=chrome renders Chrome trace-event format
+// for chrome://tracing or Perfetto. Safe on a nil Tracer.
+func (t *Tracer) Handler() http.Handler {
+	if t == nil {
+		return (*trace.Tracer)(nil).Handler()
+	}
+	return t.inner.Handler()
+}
+
+// WriteChrome exports the captured traces (slowest first) as Chrome
+// trace-event JSON with one process lane per request.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return trace.WriteChromeSpans(w, nil)
+	}
+	return trace.WriteChromeSpans(w, t.inner.Captured())
+}
+
+// Completed counts traces the collector has filed; Dropped counts
+// traces lost to collector backpressure.
+func (t *Tracer) Completed() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.inner.Completed()
+}
+
+// Dropped counts traces lost to backpressure.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.inner.Dropped()
+}
+
+// tracer exposes the internal handle to sibling files.
+func (t *Tracer) tracer() *trace.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.inner
+}
