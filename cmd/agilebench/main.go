@@ -1,6 +1,6 @@
 // agilebench regenerates the experiment tables of EXPERIMENTS.md: every
 // table and series the paper's evaluation implies plus the extension
-// studies (DESIGN.md §6, E1–E18 and E23).
+// studies (DESIGN.md §6, E1–E19 and E23).
 //
 // Usage:
 //
@@ -28,6 +28,16 @@ type benchRecord struct {
 	Title    string `json:"title"`
 	NsPerRun int64  `json:"ns_per_run"`
 	CSV      string `json:"csv"`
+}
+
+// fleetPoint is one fleet size's outcome in the E19 scaling sweep.
+type fleetPoint struct {
+	Nodes     int     `json:"nodes"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	HitRate   float64 `json:"hit_rate"`
+	HopP50Ns  int64   `json:"hop_p50_ns"`
+	HopP99Ns  int64   `json:"hop_p99_ns"`
+	Spills    uint64  `json:"spills"`
 }
 
 // phaseLatency is one pipeline phase's virtual-latency distribution,
@@ -67,6 +77,16 @@ type benchFile struct {
 		BatchWindows      uint64  `json:"batch_windows"`
 		BatchedJobs       uint64  `json:"batched_jobs"`
 	} `json:"net_path"`
+	Fleet struct {
+		Requests           int          `json:"requests"`
+		Concurrency        int          `json:"concurrency"`
+		Scaling            []fleetPoint `json:"scaling"`
+		KillNodes          int          `json:"kill_nodes"`
+		KillRequests       int          `json:"kill_requests"`
+		KillFailures       int          `json:"kill_failures"`
+		KillEjections      uint64       `json:"kill_ejections"`
+		KillReinstatements uint64       `json:"kill_reinstatements"`
+	} `json:"fleet"`
 }
 
 // writeJSON runs the selected experiments, timing each, and writes
@@ -123,6 +143,27 @@ func writeJSON(exps []exp.Experiment, path string) error {
 	out.NetPath.Speedup = np.Speedup
 	out.NetPath.BatchWindows = np.BatchWindows
 	out.NetPath.BatchedJobs = np.BatchedJobs
+	fl, err := exp.RunE19(0, 0, nil)
+	if err != nil {
+		return fmt.Errorf("e19 fleet: %w", err)
+	}
+	out.Fleet.Requests = fl.Requests
+	out.Fleet.Concurrency = fl.Concurrency
+	for _, n := range fl.Nodes {
+		out.Fleet.Scaling = append(out.Fleet.Scaling, fleetPoint{
+			Nodes:     n,
+			OpsPerSec: fl.OpsPerSec[n],
+			HitRate:   fl.HitRate[n],
+			HopP50Ns:  fl.HopP50[n].Nanoseconds(),
+			HopP99Ns:  fl.HopP99[n].Nanoseconds(),
+			Spills:    fl.Spills[n],
+		})
+	}
+	out.Fleet.KillNodes = fl.KillNodes
+	out.Fleet.KillRequests = fl.KillRequests
+	out.Fleet.KillFailures = fl.KillFailures
+	out.Fleet.KillEjections = fl.KillEjections
+	out.Fleet.KillReinstatements = fl.KillReinstatements
 	buf, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return err
@@ -131,7 +172,7 @@ func writeJSON(exps []exp.Experiment, path string) error {
 }
 
 func main() {
-	expID := flag.String("exp", "all", "experiment id (e1..e17) or 'all'")
+	expID := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	format := flag.String("format", "text", "output format: text|csv")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH.json")
 	list := flag.Bool("list", false, "list experiments and exit")

@@ -1,0 +1,174 @@
+// agilerouter fronts a fleet of agilenetd nodes with one wire-protocol
+// listener: consistent-hash function affinity decides which backend
+// serves each call (the network generalisation of cluster affinity
+// mode), hot functions spill to ring replicas under load, and failed
+// backends are ejected and probed back in — so clients keep a single
+// address while the fleet scales, drains, and recovers behind it.
+//
+//	agilerouter -addr :7700 -backends 127.0.0.1:7601,127.0.0.1:7602,127.0.0.1:7603
+//	agilerouter -addr :7700 -backends ... -replication 2 -spill-threshold 8 -metrics-addr :9091
+//
+// SIGINT/SIGTERM drain gracefully: new requests are refused with
+// UNAVAILABLE + the drain message (an upstream router ejects this one
+// cleanly), in-flight requests finish, then the process exits.
+//
+// agilenetd's -call client mode works against a router address
+// unchanged — the router speaks the identical protocol.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/router"
+	"agilefpga/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":7700", "TCP address to serve")
+	backends := flag.String("backends", "", "comma-separated agilenetd addresses (required)")
+	replication := flag.Int("replication", router.DefaultReplication, "ring replicas per function (spill targets)")
+	spillThreshold := flag.Int("spill-threshold", router.DefaultSpillThreshold, "primary in-flight count that spills calls to a replica")
+	vnodes := flag.Int("vnodes", router.DefaultVNodes, "virtual nodes per backend on the hash ring")
+	seed := flag.Uint64("seed", 0, "ring/jitter seed; equal seeds on every router give identical routing")
+	maxInflight := flag.Int("max-inflight", router.DefaultMaxInflight, "admitted requests across all connections")
+	ejectAfter := flag.Int("eject-after", router.DefaultEjectAfter, "consecutive backend failures before ejection")
+	probeBase := flag.Duration("probe-base", router.DefaultProbeBase, "first reinstatement probe delay (jittered exponential)")
+	probeMax := flag.Duration("probe-max", router.DefaultProbeMax, "reinstatement probe delay cap")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address, e.g. :9091")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling probability in [0,1] for locally rooted traces; forwarded traces always join")
+	traceTail := flag.Int("trace-tail", 16, "always retain the slowest N sampled traces, plus an error ring")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/traces, /debug/backends and /debug/pprof on this address, e.g. :6061")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("agilerouter: -backends is required (comma-separated agilenetd addresses)")
+	}
+
+	reg := metrics.NewRegistry()
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.NewTracer(trace.TracerOptions{Sample: *traceSample, TailN: *traceTail})
+		defer tracer.Close()
+		log.Printf("tracing %.0f%% of locally rooted requests (tail keeps the slowest %d)", *traceSample*100, *traceTail)
+	}
+
+	r, err := router.New(addrs, router.Options{
+		Replication:    *replication,
+		SpillThreshold: *spillThreshold,
+		VNodes:         *vnodes,
+		Seed:           *seed,
+		MaxInflight:    *maxInflight,
+		EjectAfter:     *ejectAfter,
+		ProbeBase:      *probeBase,
+		ProbeMax:       *probeMax,
+		Metrics:        reg,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/traces", tracer.Handler())
+		dmux.Handle("/debug/backends", r.DebugHandler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("agilerouter: debug server: %v", err)
+			}
+		}()
+		log.Printf("debug surface on http://%s/debug/{traces,backends,pprof}", dln.Addr())
+	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if _, err := reg.WriteTo(w); err != nil {
+				log.Printf("agilerouter: /metrics: %v", err)
+			}
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("agilerouter: metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", mln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- r.Serve(ln) }()
+	log.Printf("routing %d backends on %s (replication %d, spill at %d in flight)",
+		len(addrs), ln.Addr(), *replication, *spillThreshold)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: draining (up to %v)...", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		<-serveErr
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		metricsSrv.Shutdown(ctx)
+	}
+	if debugSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		debugSrv.Shutdown(ctx)
+	}
+	log.Printf("drained; bye")
+}

@@ -1,0 +1,72 @@
+package client
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Backoff is the repository's one retry-delay policy: exponential
+// growth from Base doubling per attempt, capped at Max, with the
+// actual delay uniformly jittered in [d/2, d) so synchronised peers
+// desynchronise. The client's retry loop and the router's backend
+// health probes share this implementation — a fix to the schedule in
+// one place fixes every caller.
+//
+// Safe for concurrent use.
+type Backoff struct {
+	// Base is attempt 0's nominal delay; Max caps the doubled series.
+	Base time.Duration
+	Max  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff builds a schedule. Non-positive base/max select the
+// client defaults. Seed 0 draws a random seed (the production
+// default); any other seed makes the jitter reproducible.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	return &Backoff{Base: base, Max: max, rng: newJitterRNG(seed)}
+}
+
+// newJitterRNG builds the backoff jitter PRNG. Seed 0 draws a random
+// seed (the production default); any other seed is reproducible.
+func newJitterRNG(seed uint64) *rand.Rand {
+	if seed == 0 {
+		seed = rand.Uint64()
+	}
+	return rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+}
+
+// Delay computes the jittered delay before retry number attempt
+// (counting from 0).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.Base << uint(attempt)
+	if d <= 0 || d > b.Max {
+		d = b.Max
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return d/2 + time.Duration(b.rng.Int64N(int64(d/2)+1))
+}
+
+// Sleep waits out attempt's jittered delay, or returns the context's
+// error if it ends first.
+func (b *Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt)) //lint:wallclock retry backoff really sleeps; callers live outside the simulation
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"net"
 	"strconv"
 	"sync"
@@ -199,8 +198,7 @@ type Client struct {
 	addr   string
 	opts   Options
 	nextID atomic.Uint64
-	rng    *rand.Rand
-	rngMu  sync.Mutex
+	bo     *Backoff
 
 	dialMu sync.Mutex // serialises pool growth so a dial storm cannot overshoot
 
@@ -237,7 +235,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 		opts:   opts,
 		conns:  make([]*muxConn, opts.PoolSize),
 		gauges: make([]*metrics.Gauge, opts.PoolSize),
-		rng:    newJitterRNG(opts.JitterSeed),
+		bo:     NewBackoff(opts.BaseBackoff, opts.MaxBackoff, opts.JitterSeed),
 	}
 	for i := range c.gauges {
 		c.gauges[i] = opts.Metrics.Gauge("agile_net_mux_inflight_per_conn",
@@ -351,6 +349,30 @@ func (c *Client) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, i
 	return out, card, err
 }
 
+// CallRef is Call under a caller-owned parent span: attempts become
+// children of parent and no root span is opened or ended here — the
+// shape a proxy hop needs to keep one trace across client → router →
+// backend. A tracer-less client forwards parent as the wire trace
+// context unchanged, so context still propagates through a hop that
+// records nothing itself.
+func (c *Client) CallRef(ctx context.Context, fn uint16, payload []byte, parent trace.SpanRef) ([]byte, int, error) {
+	return c.call(ctx, fn, payload, parent)
+}
+
+// Inflight reports the calls currently in flight across the pool —
+// the load signal a router uses for least-loaded spill decisions.
+func (c *Client) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, m := range c.conns {
+		if m != nil {
+			n += m.inflight.Load()
+		}
+	}
+	return int(n)
+}
+
 // call is the retry loop behind Call.
 func (c *Client) call(ctx context.Context, fn uint16, payload []byte, ref trace.SpanRef) ([]byte, int, error) {
 	for attempt := 0; ; attempt++ {
@@ -358,7 +380,13 @@ func (c *Client) call(ctx context.Context, fn uint16, payload []byte, ref trace.
 			return nil, -1, err
 		}
 		aref := c.opts.Tracer.StartChild(ref, "attempt", "client", fn)
-		out, card, err := c.once(ctx, fn, payload, aref)
+		wref := aref
+		if !wref.Valid() {
+			// Tracer-less (or sampled-out) hop: ship the caller's own
+			// context so an upstream trace survives the forward.
+			wref = ref
+		}
+		out, card, err := c.once(ctx, fn, payload, wref)
 		c.opts.Tracer.End(aref, spanStatus(err))
 		if err == nil {
 			return out, card, nil
@@ -369,7 +397,7 @@ func (c *Client) call(ctx context.Context, fn uint16, payload []byte, ref trace.
 		if c.opts.OnRetry != nil {
 			c.opts.OnRetry(attempt, err)
 		}
-		if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
+		if err := c.bo.Sleep(ctx, attempt); err != nil {
 			return nil, card, err
 		}
 	}
@@ -456,35 +484,11 @@ func (c *Client) once(ctx context.Context, fn uint16, payload []byte, aref trace
 	}
 }
 
-// newJitterRNG builds the backoff jitter PRNG. Seed 0 draws a random
-// seed (the production default); any other seed is reproducible.
-func newJitterRNG(seed uint64) *rand.Rand {
-	if seed == 0 {
-		seed = rand.Uint64()
-	}
-	return rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
-}
-
 // backoff computes the jittered delay before retry number attempt.
+// Kept as a method so tests exercise the schedule the retry loop uses;
+// the policy itself lives in the shared Backoff type.
 func (c *Client) backoff(attempt int) time.Duration {
-	d := c.opts.BaseBackoff << uint(attempt)
-	if d <= 0 || d > c.opts.MaxBackoff {
-		d = c.opts.MaxBackoff
-	}
-	c.rngMu.Lock()
-	defer c.rngMu.Unlock()
-	return d/2 + time.Duration(c.rng.Int64N(int64(d/2)+1))
-}
-
-func (c *Client) sleep(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d) //lint:wallclock retry backoff really sleeps; the client is outside the simulation
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
+	return c.bo.Delay(attempt)
 }
 
 // Close closes every pooled connection and waits for their readers to

@@ -10,7 +10,7 @@ import (
 
 func testClient() *Client {
 	c := &Client{opts: Options{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, JitterSeed: 1}}
-	c.rng = newJitterRNG(c.opts.JitterSeed)
+	c.bo = NewBackoff(c.opts.BaseBackoff, c.opts.MaxBackoff, c.opts.JitterSeed)
 	return c
 }
 
@@ -19,7 +19,7 @@ func testClient() *Client {
 func TestBackoffSeedDeterminism(t *testing.T) {
 	mk := func(seed uint64) []time.Duration {
 		c := &Client{opts: Options{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, JitterSeed: seed}}
-		c.rng = newJitterRNG(seed)
+		c.bo = NewBackoff(c.opts.BaseBackoff, c.opts.MaxBackoff, seed)
 		var ds []time.Duration
 		for attempt := 0; attempt < 6; attempt++ {
 			ds = append(ds, c.backoff(attempt))

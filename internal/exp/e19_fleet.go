@@ -1,0 +1,325 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agilefpga/internal/client"
+	"agilefpga/internal/cluster"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/router"
+	"agilefpga/internal/sched"
+	"agilefpga/internal/server"
+	"agilefpga/internal/sim"
+)
+
+// E19 — fleet-scale shard routing. E15 showed the partition effect in
+// one process: pin functions to cards and swapping disappears (0.98
+// hit rate). This experiment asks whether the effect survives the
+// network: N in-process agilenetd nodes (×4 cards each) behind one
+// agilerouter, a Zipf stream of mixed calls, and three questions —
+// does ops/sec scale with nodes, does consistent-hash affinity keep
+// the AGGREGATE hit rate at the single-node ceiling (random spraying
+// would collapse it), and is the router's per-hop overhead bounded?
+// A separate arm kills one backend mid-run and restarts it: the
+// availability contract is zero failed well-formed requests (traffic
+// retries onto ring replicas after ejection) and probe-based
+// reinstatement once the node returns.
+type E19Result struct {
+	Table Table
+	// Workload shape shared by every fleet size.
+	Requests    int
+	Concurrency int
+	// Fleet sizes measured, and per-size outcomes.
+	Nodes     []int
+	OpsPerSec map[int]float64
+	HitRate   map[int]float64
+	HopP50    map[int]time.Duration
+	HopP99    map[int]time.Duration
+	Spills    map[int]uint64
+	// Kill arm: a fleet of KillNodes serves KillRequests while one
+	// backend dies mid-run and later returns.
+	KillNodes          int
+	KillRequests       int
+	KillFailures       int
+	KillEjections      uint64
+	KillReinstatements uint64
+}
+
+// e19Node is one in-process backend: cluster + server + listener.
+type e19Node struct {
+	addr string
+	cl   *cluster.Cluster
+	srv  *server.Server
+	serr chan error
+}
+
+func e19StartNode(addr string, concurrency int) (*e19Node, error) {
+	cfg := core.Config{
+		Geometry:         fpga.Geometry{Rows: 32, Cols: 40},
+		DecodeCacheBytes: 1 << 20,
+	}
+	// Card queues sized to the full fan-in make admission loss-free:
+	// the experiment measures routing, not shedding.
+	cl, err := cluster.NewWithOptions(4, cluster.ModeAffinity, cfg,
+		cluster.Options{Queue: concurrency})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	srv := server.New(cl, server.Options{MaxInflight: 4 * concurrency})
+	n := &e19Node{addr: ln.Addr().String(), cl: cl, srv: srv, serr: make(chan error, 1)}
+	go func() { n.serr <- srv.Serve(ln) }()
+	return n, nil
+}
+
+func (n *e19Node) stop() {
+	n.srv.Close()
+	<-n.serr
+	n.cl.Close()
+}
+
+// e19Router builds the router for an arm with experiment-tuned knobs.
+func e19Router(addrs []string, reg *metrics.Registry) (*router.Router, error) {
+	return router.New(addrs, router.Options{
+		Seed:           20_05,
+		SpillThreshold: 16,
+		MaxRounds:      8,
+		ProbeBase:      5 * time.Millisecond,
+		ProbeMax:       100 * time.Millisecond,
+		Backend: client.Options{
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+			JitterSeed:  23,
+		},
+		Metrics: reg,
+	})
+}
+
+// e19Drive drains jobs[first:last] through rt at the given
+// concurrency, counting failures instead of aborting (the kill arm's
+// contract is that the count stays zero).
+func e19Drive(rt *router.Router, jobs []sched.Job, first, last, concurrency int, onJob func(i int)) int {
+	var next atomic.Int64
+	next.Store(int64(first))
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= last {
+					return
+				}
+				if onJob != nil {
+					onJob(i)
+				}
+				out, _, err := rt.Call(context.Background(), jobs[i].Fn, jobs[i].Input)
+				if err != nil || len(out) == 0 {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(failures.Load())
+}
+
+// e19Scale runs the Zipf stream against an n-node fleet and reports
+// throughput, aggregate hit rate, hop-overhead quantiles, and spills.
+func e19Scale(jobs []sched.Job, n, concurrency int) (ops float64, hitRate float64, p50, p99 time.Duration, spills uint64, err error) {
+	nodes := make([]*e19Node, 0, n)
+	defer func() {
+		for _, nd := range nodes {
+			nd.stop()
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		nd, nerr := e19StartNode("127.0.0.1:0", concurrency)
+		if nerr != nil {
+			return 0, 0, 0, 0, 0, nerr
+		}
+		nodes = append(nodes, nd)
+		addrs = append(addrs, nd.addr)
+	}
+	reg := metrics.NewRegistry()
+	rt, err := e19Router(addrs, reg)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	defer rt.Close()
+	start := time.Now() //lint:wallclock E19 measures real fleet throughput over the network path
+	if failures := e19Drive(rt, jobs, 0, len(jobs), concurrency, nil); failures > 0 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("exp: E19 %d-node arm: %d failed requests", n, failures)
+	}
+	elapsed := time.Since(start) //lint:wallclock E19 measures real fleet throughput over the network path
+	var hits, requests uint64
+	for _, nd := range nodes {
+		st := nd.cl.Stats()
+		if ierr := nd.cl.CheckInvariants(); ierr != nil {
+			return 0, 0, 0, 0, 0, ierr
+		}
+		hits += uint64(st.Total.Hits)
+		requests += st.Total.Requests
+	}
+	if requests > 0 {
+		hitRate = float64(hits) / float64(requests)
+	}
+	q := func(p float64) time.Duration {
+		v, _ := reg.QuantileWhere("agile_router_hop_overhead_seconds", p)
+		return time.Duration(int64(v) / int64(sim.Nanosecond))
+	}
+	for _, b := range rt.Backends() {
+		spills += b.Spills
+	}
+	return float64(len(jobs)) / elapsed.Seconds(), hitRate, q(0.50), q(0.99), spills, nil
+}
+
+// e19Kill runs the availability arm: n nodes, one killed abruptly a
+// quarter of the way in, restarted after the stream drains, then a
+// tail of requests confirms the fleet is whole again. Every
+// well-formed request must succeed throughout.
+func e19Kill(jobs []sched.Job, n, concurrency int) (failures int, ejections, reinstatements uint64, err error) {
+	nodes := make([]*e19Node, 0, n)
+	defer func() {
+		for _, nd := range nodes {
+			if nd != nil {
+				nd.stop()
+			}
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		nd, nerr := e19StartNode("127.0.0.1:0", concurrency)
+		if nerr != nil {
+			return 0, 0, 0, nerr
+		}
+		nodes = append(nodes, nd)
+		addrs = append(addrs, nd.addr)
+	}
+	reg := metrics.NewRegistry()
+	rt, err := e19Router(addrs, reg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer rt.Close()
+
+	victim := n / 2
+	killAt := len(jobs) / 4
+	tail := len(jobs) / 5
+	var killOnce sync.Once
+	failures = e19Drive(rt, jobs, 0, len(jobs)-tail, concurrency, func(i int) {
+		if i >= killAt {
+			killOnce.Do(func() {
+				nodes[victim].stop()
+				nodes[victim] = nil
+			})
+		}
+	})
+
+	// Bring the victim back on its old address and wait for the probe
+	// loop to reinstate it.
+	nd, nerr := e19StartNode(addrs[victim], concurrency)
+	if nerr != nil {
+		return failures, 0, 0, nerr
+	}
+	nodes[victim] = nd
+	reinstCount := func() uint64 {
+		var c uint64
+		for _, a := range addrs {
+			c += reg.Counter("agile_router_reinstatements_total", metrics.L("backend", a)).Value()
+		}
+		return c
+	}
+	deadline := time.Now().Add(15 * time.Second) //lint:wallclock E19 waits in real time for probe-based reinstatement
+	for reinstCount() == 0 {
+		if time.Now().After(deadline) { //lint:wallclock E19 waits in real time for probe-based reinstatement
+			return failures, 0, 0, fmt.Errorf("exp: E19 kill arm: backend never reinstated")
+		}
+		time.Sleep(5 * time.Millisecond) //lint:wallclock E19 waits in real time for probe-based reinstatement
+	}
+	failures += e19Drive(rt, jobs, len(jobs)-tail, len(jobs), concurrency, nil)
+
+	for _, a := range addrs {
+		ejections += reg.Counter("agile_router_ejections_total", metrics.L("backend", a)).Value()
+	}
+	return failures, ejections, reinstCount(), nil
+}
+
+// RunE19 executes the fleet-scaling experiment. Zero/nil arguments
+// select the defaults: 6000 requests, 256 concurrent callers, fleets
+// of 1/2/4/8/16 nodes, and a 3-node kill arm.
+func RunE19(requests, concurrency int, nodeCounts []int) (*E19Result, error) {
+	if requests <= 0 {
+		requests = 6000
+	}
+	if concurrency <= 0 {
+		concurrency = 256
+	}
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 4, 8, 16}
+	}
+	jobs, err := e16Jobs(requests)
+	if err != nil {
+		return nil, err
+	}
+	res := &E19Result{
+		Requests:    requests,
+		Concurrency: concurrency,
+		Nodes:       nodeCounts,
+		OpsPerSec:   make(map[int]float64),
+		HitRate:     make(map[int]float64),
+		HopP50:      make(map[int]time.Duration),
+		HopP99:      make(map[int]time.Duration),
+		Spills:      make(map[int]uint64),
+		KillNodes:   3,
+	}
+	res.Table = Table{
+		Title: fmt.Sprintf("E19  Fleet-scale shard routing (%d requests, %d concurrent callers, Zipf, ×4-card nodes)",
+			requests, concurrency),
+		Header: []string{"nodes", "cards", "ops/sec", "agg hit rate", "hop p50", "hop p99", "spills"},
+	}
+	for _, n := range nodeCounts {
+		ops, hit, p50, p99, spills, err := e19Scale(jobs, n, concurrency)
+		if err != nil {
+			return nil, err
+		}
+		res.OpsPerSec[n] = ops
+		res.HitRate[n] = hit
+		res.HopP50[n] = p50
+		res.HopP99[n] = p99
+		res.Spills[n] = spills
+		res.Table.AddRow(n, 4*n, fmt.Sprintf("%.0f", ops), fmt.Sprintf("%.3f", hit),
+			p50.Round(time.Microsecond).String(), p99.Round(time.Microsecond).String(), spills)
+	}
+
+	killJobs := jobs
+	if len(killJobs) > requests/2 {
+		killJobs = killJobs[:requests/2]
+	}
+	fails, ejected, reinstated, err := e19Kill(killJobs, res.KillNodes, concurrency)
+	if err != nil {
+		return nil, err
+	}
+	res.KillRequests = len(killJobs)
+	res.KillFailures = fails
+	res.KillEjections = ejected
+	res.KillReinstatements = reinstated
+	res.Table.Caption = fmt.Sprintf(
+		"kill arm (%d nodes, %d requests): one backend killed mid-run and restarted — %d failed requests, %d ejection(s), %d reinstatement(s)",
+		res.KillNodes, res.KillRequests, fails, ejected, reinstated)
+	return res, nil
+}

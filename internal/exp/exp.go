@@ -88,6 +88,10 @@ func All() []Experiment {
 			r, err := RunE18()
 			return tableOf(r, err)
 		}},
+		{"e19", "Fleet-scale shard routing (agilerouter over N nodes)", func() (*Table, error) {
+			r, err := RunE19(0, 0, nil)
+			return tableOf(r, err)
+		}},
 		{"e23", "Network-path throughput (mux + cross-client batching)", func() (*Table, error) {
 			r, err := RunE23(4000, 512)
 			return tableOf(r, err)
@@ -143,4 +147,5 @@ func (r *E14Result) table() *Table { return &r.Table }
 func (r *E15Result) table() *Table { return &r.Table }
 func (r *E16Result) table() *Table { return &r.Table }
 func (r *E18Result) table() *Table { return &r.Table }
+func (r *E19Result) table() *Table { return &r.Table }
 func (r *E23Result) table() *Table { return &r.Table }

@@ -184,14 +184,14 @@ func TestE15ClusterShape(t *testing.T) {
 
 func TestCatalogueExtended(t *testing.T) {
 	exps := All()
-	if len(exps) != 19 {
+	if len(exps) != 20 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	// Numeric ordering: e9 before e10.
 	if exps[8].ID != "e9" || exps[9].ID != "e10" {
 		t.Errorf("ordering wrong: %s, %s", exps[8].ID, exps[9].ID)
 	}
-	for _, id := range []string{"e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e23"} {
+	for _, id := range []string{"e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e23"} {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("ByID(%s): %v", id, err)
 		}
@@ -223,6 +223,41 @@ func TestE23NetPathShape(t *testing.T) {
 	}
 	if len(r.Table.Rows) != 2 {
 		t.Errorf("table rows = %d", len(r.Table.Rows))
+	}
+}
+
+func TestE19FleetShape(t *testing.T) {
+	r, err := RunE19(600, 64, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock scaling is asserted at full size by the real run in
+	// EXPERIMENTS.md; the shape test pins the deterministic invariants:
+	// affinity keeps the aggregate hit rate near the E15 single-node
+	// ceiling at every fleet size, hop overhead is recorded, and the
+	// kill arm loses nothing.
+	for _, n := range r.Nodes {
+		if r.OpsPerSec[n] <= 0 {
+			t.Errorf("%d nodes: non-positive throughput %v", n, r.OpsPerSec[n])
+		}
+		if r.HitRate[n] < 0.9 {
+			t.Errorf("%d nodes: aggregate hit rate %.3f — affinity lost over the network", n, r.HitRate[n])
+		}
+		if r.HopP99[n] <= 0 {
+			t.Errorf("%d nodes: hop-overhead histogram empty", n)
+		}
+	}
+	if r.KillFailures != 0 {
+		t.Errorf("kill arm: %d failed well-formed requests, want 0", r.KillFailures)
+	}
+	if r.KillEjections == 0 {
+		t.Error("kill arm: backend was never ejected")
+	}
+	if r.KillReinstatements == 0 {
+		t.Error("kill arm: backend was never reinstated")
+	}
+	if len(r.Table.Rows) != len(r.Nodes) {
+		t.Errorf("table rows = %d, want %d", len(r.Table.Rows), len(r.Nodes))
 	}
 }
 

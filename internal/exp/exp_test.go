@@ -245,7 +245,7 @@ func TestE18PipelineShape(t *testing.T) {
 
 func TestCatalogue(t *testing.T) {
 	exps := All()
-	if len(exps) != 19 {
+	if len(exps) != 20 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	if _, err := ByID("e3"); err != nil {

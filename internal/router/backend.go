@@ -1,0 +1,150 @@
+package router
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agilefpga/internal/client"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/wire"
+)
+
+// Backend health states. The machine is
+//
+//	healthy ──(transport failure ×EjectAfter, or drain)──▶ ejected
+//	ejected ──(probe goroutine starts)──▶ probing
+//	probing ──(probe answers)──▶ healthy
+//
+// Ejection starts exactly one probe goroutine, which owns the path
+// back: it re-dials on the shared Backoff schedule until the node
+// answers a wire request again, then reinstates and exits.
+type backendState int32
+
+const (
+	stateHealthy backendState = iota
+	stateEjected
+	stateProbing
+)
+
+func (s backendState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateEjected:
+		return "ejected"
+	case stateProbing:
+		return "probing"
+	}
+	return "unknown"
+}
+
+// backend is one agilenetd node as the router sees it: a lazily
+// dialled mux client, an in-flight count feeding spill decisions, and
+// the health state machine.
+type backend struct {
+	addr string
+
+	cmu sync.Mutex
+	c   *client.Client // nil until the first successful dial
+
+	inflight atomic.Int64
+	state    atomic.Int32 // backendState
+	fails    atomic.Int32 // consecutive infrastructure failures
+
+	ejections      atomic.Uint64
+	reinstatements atomic.Uint64
+	spills         atomic.Uint64
+
+	// Registry handles, resolved once at pool build (nil-registry safe).
+	gInflight  *metrics.Gauge
+	cEject     *metrics.Counter
+	cReinstate *metrics.Counter
+	cSpill     *metrics.Counter
+}
+
+func newBackend(addr string, reg *metrics.Registry) *backend {
+	l := metrics.L("backend", addr)
+	return &backend{
+		addr:       addr,
+		gInflight:  reg.Gauge("agile_router_backend_inflight", l),
+		cEject:     reg.Counter("agile_router_ejections_total", l),
+		cReinstate: reg.Counter("agile_router_reinstatements_total", l),
+		cSpill:     reg.Counter("agile_router_spills_total", l),
+	}
+}
+
+func (b *backend) healthy() bool {
+	return backendState(b.state.Load()) == stateHealthy
+}
+
+// getClient returns the backend's mux client, dialling it on first
+// use. Tolerating a failed dial here (instead of at pool build) lets
+// a router start ahead of its backends: the node is simply ejected
+// and probed in until it appears.
+func (b *backend) getClient(opts client.Options) (*client.Client, error) {
+	b.cmu.Lock()
+	defer b.cmu.Unlock()
+	if b.c != nil {
+		return b.c, nil
+	}
+	c, err := client.Dial(b.addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	b.c = c
+	return c, nil
+}
+
+func (b *backend) closeClient() {
+	b.cmu.Lock()
+	c := b.c
+	b.c = nil
+	b.cmu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// eject transitions healthy→ejected; returns true for the caller that
+// won the transition (and must start the probe goroutine).
+func (b *backend) eject() bool {
+	if b.state.CompareAndSwap(int32(stateHealthy), int32(stateEjected)) {
+		b.ejections.Add(1)
+		b.cEject.Inc()
+		return true
+	}
+	return false
+}
+
+// reinstate transitions back to healthy from the probe goroutine.
+func (b *backend) reinstate() {
+	b.fails.Store(0)
+	b.state.Store(int32(stateHealthy))
+	b.reinstatements.Add(1)
+	b.cReinstate.Inc()
+}
+
+// probeOnce asks the node one liveness question over a fresh, short-
+// deadline connection: an empty-payload request. A live, admitting
+// server answers it INVALID_ARGUMENT without touching a card; a
+// saturated one answers RESOURCE_EXHAUSTED (alive — shedding is the
+// router's job, not the prober's). Only a refusal to answer — or an
+// UNAVAILABLE drain/stopped status — keeps the node out.
+func probeOnce(addr string, timeout time.Duration) bool {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout)) //lint:wallclock socket deadline for the health probe; the router is outside the simulation
+	if err := wire.WriteRequest(conn, &wire.Request{ID: 1, Fn: 0, Deadline: timeout}); err != nil {
+		return false
+	}
+	resp, err := wire.ReadResponse(conn)
+	if err != nil {
+		return false
+	}
+	return resp.Status != wire.StatusUnavailable
+}

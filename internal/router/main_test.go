@@ -1,0 +1,23 @@
+package router_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"agilefpga/internal/testutil"
+)
+
+// TestMain fails the package if any router goroutine — front-end
+// handler, probe loop, backend mux reader — survives its test:
+// graceful teardown is part of the router's contract.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := testutil.CheckGoroutineLeaks(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,754 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"agilefpga/internal/client"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/server"
+	"agilefpga/internal/sim"
+	"agilefpga/internal/trace"
+	"agilefpga/internal/wire"
+)
+
+// Defaults for Options.
+const (
+	DefaultReplication    = 2
+	DefaultSpillThreshold = 8
+	DefaultMaxRounds      = 4
+	DefaultMaxInflight    = 1024
+	DefaultEjectAfter     = 1
+	DefaultProbeBase      = 50 * time.Millisecond
+	DefaultProbeMax       = 2 * time.Second
+	DefaultProbeTimeout   = time.Second
+)
+
+// ErrRouterClosed is returned by Serve after Shutdown or Close.
+var ErrRouterClosed = errors.New("router: closed")
+
+// ErrNoBackends is returned when every candidate backend refused the
+// request across every retry round.
+var ErrNoBackends = errors.New("router: no backends available")
+
+// Options tunes the router. The zero value of every field selects a
+// default.
+type Options struct {
+	// Replication is how many ring-consecutive nodes may serve one
+	// function (default 2): the primary takes all traffic until its
+	// in-flight count reaches SpillThreshold, then calls spill to the
+	// least-loaded replica — which warms its caches, replicating the
+	// hot function across the fleet exactly as load demands.
+	Replication int
+	// SpillThreshold is the primary in-flight count at which calls
+	// spill to a replica (default 8 ≈ 2× a node's card parallelism).
+	SpillThreshold int
+	// VNodes and Seed parameterise the consistent-hash ring; equal
+	// values on every router instance give identical routing.
+	VNodes int
+	Seed   uint64
+	// MaxRounds bounds full passes over the candidate list (default 4);
+	// rounds are separated by the shared jittered backoff schedule.
+	MaxRounds int
+	// MaxInflight bounds requests admitted by the wire front end
+	// (default 1024); excess is refused with RESOURCE_EXHAUSTED.
+	MaxInflight int
+	// EjectAfter is the consecutive infrastructure-failure count that
+	// ejects a backend (default 1). A drain answer ejects immediately
+	// regardless.
+	EjectAfter int
+	// ProbeBase/ProbeMax shape the ejected-backend probe schedule
+	// (jittered exponential, shared Backoff implementation); a probe
+	// round trip is bounded by ProbeTimeout.
+	ProbeBase    time.Duration
+	ProbeMax     time.Duration
+	ProbeTimeout time.Duration
+	// Backend is the template for per-backend mux clients. MaxRetries
+	// is forced off (the router retries across backends, not within
+	// one) and Metrics is forced nil (per-conn gauge labels would
+	// collide across backends — the router exports per-backend series
+	// itself).
+	Backend client.Options
+	// Metrics, if set, receives the router series (per-backend
+	// in-flight/ejections/reinstatements/spills/forwards, request
+	// latency, hop overhead with exemplars).
+	Metrics *metrics.Registry
+	// Tracer, if set, records a route span per request between the
+	// client's call span and the backend server's rpc span. A traced
+	// frame arriving at the front end joins the client's trace; the
+	// forward ships the router's attempt span onward.
+	Tracer *trace.Tracer
+}
+
+// Router fans calls out over a fleet of agilenetd backends by
+// consistent-hash function affinity. Use it directly as a library
+// (Call/CallMulti) or put it on the wire with Serve. Safe for
+// concurrent use.
+type Router struct {
+	opts        Options
+	backendOpts client.Options
+	ring        *Ring
+	backends    map[string]*backend
+	order       []string // sorted backend addrs: deterministic fallback order
+	bo          *client.Backoff
+	probeBo     *client.Backoff
+	sem         chan struct{}
+
+	pctx    context.Context // cancelled on Close/Shutdown: stops probes
+	pcancel context.CancelFunc
+	probes  sync.WaitGroup
+	stop    sync.Once
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	inflight sync.WaitGroup
+	connWG   sync.WaitGroup
+}
+
+// New builds a router over the given backend addresses (fixed for the
+// router's lifetime). Backends are dialled eagerly; one that is down
+// at start is not an error — it begins ejected and the probe loop
+// reinstates it when it appears.
+func New(backends []string, opts Options) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("router: no backends configured")
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = DefaultReplication
+	}
+	if opts.SpillThreshold <= 0 {
+		opts.SpillThreshold = DefaultSpillThreshold
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = DefaultMaxRounds
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	if opts.EjectAfter <= 0 {
+		opts.EjectAfter = DefaultEjectAfter
+	}
+	if opts.ProbeBase <= 0 {
+		opts.ProbeBase = DefaultProbeBase
+	}
+	if opts.ProbeMax <= 0 {
+		opts.ProbeMax = DefaultProbeMax
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = DefaultProbeTimeout
+	}
+	bopts := opts.Backend
+	bopts.MaxRetries = -1
+	bopts.Metrics = nil
+	bopts.Tracer = opts.Tracer
+	pctx, pcancel := context.WithCancel(context.Background())
+	r := &Router{
+		opts:        opts,
+		backendOpts: bopts,
+		ring:        NewRing(opts.VNodes, opts.Seed),
+		backends:    make(map[string]*backend, len(backends)),
+		bo:          client.NewBackoff(bopts.BaseBackoff, bopts.MaxBackoff, opts.Seed),
+		probeBo:     client.NewBackoff(opts.ProbeBase, opts.ProbeMax, opts.Seed),
+		sem:         make(chan struct{}, opts.MaxInflight),
+		pctx:        pctx,
+		pcancel:     pcancel,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	for _, addr := range backends {
+		if _, dup := r.backends[addr]; dup {
+			continue
+		}
+		r.ring.Add(addr)
+		r.backends[addr] = newBackend(addr, opts.Metrics)
+	}
+	r.order = r.ring.Nodes()
+	for _, addr := range r.order {
+		b := r.backends[addr]
+		if _, err := b.getClient(r.backendOpts); err != nil {
+			if b.eject() {
+				r.startProbe(b)
+			}
+		}
+	}
+	return r, nil
+}
+
+// candidates orders the backends to try for fn: healthy ring replicas
+// first (primary, then clockwise), with the least-loaded replica
+// promoted over an overloaded primary (load-aware spill); then the
+// remaining healthy nodes; then ejected ones as a last resort (a probe
+// may lag a node's recovery). The bool reports whether a spill
+// promotion happened.
+func (r *Router) candidates(fn uint16) ([]*backend, bool) {
+	reps := r.ring.LookupN(fn, r.opts.Replication)
+	inReps := make(map[string]struct{}, len(reps))
+	cands := make([]*backend, 0, len(r.order))
+	for _, name := range reps {
+		inReps[name] = struct{}{}
+		if b := r.backends[name]; b.healthy() {
+			cands = append(cands, b)
+		}
+	}
+	spilled := false
+	if len(cands) >= 2 {
+		primary := cands[0]
+		if int(primary.inflight.Load()) >= r.opts.SpillThreshold {
+			best, bi := primary, 0
+			for i, b := range cands[1:] {
+				if b.inflight.Load() < best.inflight.Load() {
+					best, bi = b, i+1
+				}
+			}
+			if bi != 0 {
+				cands[0], cands[bi] = cands[bi], cands[0]
+				spilled = true
+			}
+		}
+	}
+	for _, name := range r.order {
+		if _, ok := inReps[name]; ok {
+			continue
+		}
+		if b := r.backends[name]; b.healthy() {
+			cands = append(cands, b)
+		}
+	}
+	for _, name := range reps {
+		if b := r.backends[name]; !b.healthy() {
+			cands = append(cands, b)
+		}
+	}
+	for _, name := range r.order {
+		if _, ok := inReps[name]; ok {
+			continue
+		}
+		if b := r.backends[name]; !b.healthy() {
+			cands = append(cands, b)
+		}
+	}
+	return cands, spilled
+}
+
+// disposition classifies a forward failure for the routing loop.
+type disposition int
+
+const (
+	dispTerminal disposition = iota // the caller's problem — return it
+	dispOverload                    // backend alive but shedding — try a replica
+	dispDrain                       // graceful drain — eject immediately
+	dispInfra                       // transport/unavailable — count toward ejection
+)
+
+func classify(err error) disposition {
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case wire.StatusResourceExhausted:
+			return dispOverload
+		case wire.StatusUnavailable:
+			if se.Msg == server.DrainMessage {
+				return dispDrain
+			}
+			return dispInfra
+		default:
+			return dispTerminal
+		}
+	}
+	var te *client.TransportError
+	if errors.As(err, &te) {
+		return dispInfra
+	}
+	return dispTerminal // context errors and the like are not the backend's fault
+}
+
+// Call routes one request through the fleet, returning the output and
+// the serving backend card. The context deadline bounds routing,
+// retries, and the forwarded budget. Non-OK backend statuses surface
+// as *client.StatusError, exactly as a direct client call would.
+func (r *Router) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, int, error) {
+	ref := r.opts.Tracer.StartRoot("route", "router", fn)
+	start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
+	out, card, backendNS, err := r.route(ctx, fn, payload, ref)
+	r.observeRoute(start, backendNS, err, ref.TraceID)
+	r.opts.Tracer.End(ref, routeStatus(err))
+	return out, card, err
+}
+
+// MultiCall is one element of a scatter-gather batch.
+type MultiCall struct {
+	Fn      uint16
+	Payload []byte
+}
+
+// MultiResult is CallMulti's per-element outcome, in input order.
+type MultiResult struct {
+	Output []byte
+	Card   int
+	Err    error
+}
+
+// CallMulti scatters a multi-function batch across the fleet — each
+// element routed independently by its function's affinity — and
+// gathers the results in input order. One scatter span parents the
+// per-element route spans.
+func (r *Router) CallMulti(ctx context.Context, calls []MultiCall) []MultiResult {
+	ref := r.opts.Tracer.StartRoot("scatter", "router", 0)
+	results := make([]MultiResult, len(calls))
+	var wg sync.WaitGroup
+	for i := range calls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cref := r.opts.Tracer.StartChild(ref, "route", "router", calls[i].Fn)
+			start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
+			out, card, backendNS, err := r.route(ctx, calls[i].Fn, calls[i].Payload, cref)
+			r.observeRoute(start, backendNS, err, cref.TraceID)
+			r.opts.Tracer.End(cref, routeStatus(err))
+			results[i] = MultiResult{Output: out, Card: card, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	st := "ok"
+	for i := range results {
+		if results[i].Err != nil {
+			st = "error"
+			break
+		}
+	}
+	r.opts.Tracer.End(ref, st)
+	return results
+}
+
+// route is the candidate/retry loop behind Call and the wire front
+// end. backendNS accumulates wall time spent inside backend forwards,
+// so callers can separate hop overhead from backend service time.
+func (r *Router) route(ctx context.Context, fn uint16, payload []byte, ref trace.SpanRef) (out []byte, card int, backendNS int64, err error) {
+	var lastErr error
+	for round := 0; ; round++ {
+		cands, spilled := r.candidates(fn)
+		if spilled {
+			cands[0].spills.Add(1)
+			cands[0].cSpill.Inc()
+		}
+		for _, b := range cands {
+			if cerr := ctx.Err(); cerr != nil {
+				if lastErr == nil {
+					lastErr = cerr
+				}
+				return nil, -1, backendNS, lastErr
+			}
+			out, card, dns, ferr := r.forward(ctx, b, fn, payload, ref)
+			backendNS += dns
+			if ferr == nil {
+				return out, card, backendNS, nil
+			}
+			lastErr = ferr
+			switch classify(ferr) {
+			case dispTerminal:
+				return nil, card, backendNS, ferr
+			case dispOverload:
+				// Alive but shedding: no ejection, next candidate absorbs.
+			case dispDrain:
+				if b.eject() {
+					r.startProbe(b)
+				}
+			case dispInfra:
+				if int(b.fails.Add(1)) >= r.opts.EjectAfter {
+					if b.eject() {
+						r.startProbe(b)
+					}
+				}
+			}
+		}
+		if round+1 >= r.opts.MaxRounds {
+			if lastErr == nil {
+				lastErr = ErrNoBackends
+			}
+			return nil, -1, backendNS, lastErr
+		}
+		if serr := r.bo.Sleep(ctx, round); serr != nil {
+			if lastErr == nil {
+				lastErr = serr
+			}
+			return nil, -1, backendNS, lastErr
+		}
+	}
+}
+
+// forward sends one attempt to one backend through its mux client,
+// tracking per-backend in-flight (the spill signal) and the forward
+// outcome series.
+func (r *Router) forward(ctx context.Context, b *backend, fn uint16, payload []byte, ref trace.SpanRef) ([]byte, int, int64, error) {
+	c, err := b.getClient(r.backendOpts)
+	if err != nil {
+		r.countForward(b, err)
+		return nil, -1, 0, err
+	}
+	b.inflight.Add(1)
+	b.gInflight.Inc()
+	start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
+	out, card, cerr := c.CallRef(ctx, fn, payload, ref)
+	elapsed := time.Since(start) //lint:wallclock hop accounting is wall time; the router is outside the simulation
+	b.inflight.Add(-1)
+	b.gInflight.Dec()
+	if cerr == nil {
+		b.fails.Store(0)
+	}
+	r.countForward(b, cerr)
+	return out, card, elapsed.Nanoseconds(), cerr
+}
+
+func (r *Router) countForward(b *backend, err error) {
+	if r.opts.Metrics == nil {
+		return
+	}
+	r.opts.Metrics.Counter("agile_router_forwards_total",
+		metrics.L("backend", b.addr), metrics.L("status", routeStatus(err))).Inc()
+}
+
+// observeRoute records one routed request: total latency and the hop
+// overhead (total minus time inside backend calls), both with the
+// request's trace id as exemplar so the histogram links back to
+// /debug/traces.
+func (r *Router) observeRoute(start time.Time, backendNS int64, err error, traceID uint64) {
+	if r.opts.Metrics == nil {
+		return
+	}
+	elapsed := time.Since(start) //lint:wallclock hop accounting is wall time; the router is outside the simulation
+	lbl := metrics.L("status", routeStatus(err))
+	r.opts.Metrics.Counter("agile_router_requests_total", lbl).Inc()
+	r.opts.Metrics.Histogram("agile_router_request_seconds", lbl).
+		ObserveExemplar(sim.Time(elapsed.Nanoseconds())*sim.Nanosecond, traceID)
+	overhead := elapsed.Nanoseconds() - backendNS
+	if overhead < 0 {
+		overhead = 0
+	}
+	r.opts.Metrics.Histogram("agile_router_hop_overhead_seconds").
+		ObserveExemplar(sim.Time(overhead)*sim.Nanosecond, traceID)
+}
+
+// routeStatus renders a route outcome as a span/label status string.
+func routeStatus(err error) string {
+	var se *client.StatusError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &se):
+		return se.Status.String()
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	var te *client.TransportError
+	if errors.As(err, &te) {
+		return "transport"
+	}
+	return "error"
+}
+
+// startProbe launches the single probe goroutine owning b's path back
+// to healthy. It re-checks the node on the jittered probe schedule
+// until it answers, then drops the stale client (the next forward
+// re-dials fresh) and reinstates.
+func (r *Router) startProbe(b *backend) {
+	r.probes.Add(1)
+	go func() {
+		defer r.probes.Done()
+		b.state.Store(int32(stateProbing))
+		for attempt := 0; ; attempt++ {
+			if err := r.probeBo.Sleep(r.pctx, attempt); err != nil {
+				return // router closing
+			}
+			if probeOnce(b.addr, r.opts.ProbeTimeout) {
+				b.closeClient()
+				b.reinstate()
+				return
+			}
+		}
+	}()
+}
+
+// BackendInfo is one backend's health snapshot.
+type BackendInfo struct {
+	Addr           string `json:"addr"`
+	State          string `json:"state"`
+	Inflight       int64  `json:"inflight"`
+	Ejections      uint64 `json:"ejections"`
+	Reinstatements uint64 `json:"reinstatements"`
+	Spills         uint64 `json:"spills"`
+}
+
+// Backends snapshots every backend in address order.
+func (r *Router) Backends() []BackendInfo {
+	out := make([]BackendInfo, 0, len(r.order))
+	for _, name := range r.order {
+		b := r.backends[name]
+		out = append(out, BackendInfo{
+			Addr:           b.addr,
+			State:          backendState(b.state.Load()).String(),
+			Inflight:       b.inflight.Load(),
+			Ejections:      b.ejections.Load(),
+			Reinstatements: b.reinstatements.Load(),
+			Spills:         b.spills.Load(),
+		})
+	}
+	return out
+}
+
+// DebugHandler serves the backend table as JSON — mounted at
+// /debug/backends by cmd/agilerouter.
+func (r *Router) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Backends())
+	})
+}
+
+// Serve accepts wire-protocol connections on ln, routing every
+// request through the fleet, until Shutdown or Close; then it returns
+// ErrRouterClosed. The front end mirrors internal/server: pipelined
+// requests are handled concurrently, responses may interleave, and a
+// duplicate in-flight request id is a fatal protocol error.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		ln.Close()
+		return ErrRouterClosed
+	}
+	if r.ln != nil {
+		r.mu.Unlock()
+		return errors.New("router: Serve called twice")
+	}
+	r.ln = ln
+	r.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			draining := r.draining
+			r.mu.Unlock()
+			if draining {
+				return ErrRouterClosed
+			}
+			return err
+		}
+		r.mu.Lock()
+		if r.draining {
+			r.mu.Unlock()
+			conn.Close()
+			return ErrRouterClosed
+		}
+		r.conns[conn] = struct{}{}
+		r.connWG.Add(1)
+		r.mu.Unlock()
+		go r.handleConn(conn)
+	}
+}
+
+func (r *Router) handleConn(c net.Conn) {
+	defer r.connWG.Done()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, c)
+		r.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	var wmu sync.Mutex
+	write := func(resp *wire.Response) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := wire.WriteResponse(bw, resp); err != nil {
+			return
+		}
+		bw.Flush()
+	}
+	var idMu sync.Mutex
+	ids := make(map[uint64]struct{})
+	for {
+		req := new(wire.Request)
+		fr, err := wire.ReadRequestFrame(br, req)
+		if err != nil {
+			return
+		}
+		idMu.Lock()
+		_, dup := ids[req.ID]
+		if !dup {
+			ids[req.ID] = struct{}{}
+		}
+		idMu.Unlock()
+		if dup {
+			fr.Release()
+			write(&wire.Response{ID: req.ID, Status: wire.StatusInvalidArgument, Card: -1,
+				Payload: []byte(fmt.Sprintf("request id %d already in flight on this connection", req.ID))})
+			return
+		}
+		finish := func() {
+			idMu.Lock()
+			delete(ids, req.ID)
+			idMu.Unlock()
+		}
+		r.handleRequest(req, fr, write, finish)
+	}
+}
+
+// handleRequest admits one front-end request and dispatches it in its
+// own goroutine. Admission and in-flight registration happen under mu
+// so Shutdown's drain wait cannot race a late admission.
+func (r *Router) handleRequest(req *wire.Request, fr wire.Frame, write func(*wire.Response), finish func()) {
+	refuse := func(st wire.Status, msg string) {
+		write(&wire.Response{ID: req.ID, Status: st, Card: -1, Payload: []byte(msg)})
+		finish()
+		fr.Release()
+	}
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		refuse(wire.StatusUnavailable, server.DrainMessage)
+		return
+	}
+	select {
+	case r.sem <- struct{}{}:
+	default:
+		r.mu.Unlock()
+		refuse(wire.StatusResourceExhausted,
+			fmt.Sprintf("router at capacity (%d in flight)", cap(r.sem)))
+		return
+	}
+	r.inflight.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer func() {
+			<-r.sem
+			r.inflight.Done()
+		}()
+		ctx := context.Background()
+		if req.Deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+			defer cancel()
+		}
+		// The route span sits between the client's call span and the
+		// backend server's rpc span. A tracer-less router still forwards
+		// an incoming context verbatim (passthrough ref), so the trace
+		// survives the hop even when this process records nothing.
+		var ref trace.SpanRef
+		if req.Trace.Valid() {
+			ref = r.opts.Tracer.StartRemote(req.Trace.TraceID, req.Trace.SpanID,
+				req.Trace.Sampled(), "route", "router", req.Fn)
+			if !ref.Valid() && req.Trace.Sampled() {
+				ref = trace.SpanRef{TraceID: req.Trace.TraceID, SpanID: req.Trace.SpanID}
+			}
+		} else {
+			ref = r.opts.Tracer.StartRoot("route", "router", req.Fn)
+		}
+		start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
+		out, card, backendNS, err := r.route(ctx, req.Fn, req.Payload, ref)
+		st, payload := responseFor(out, err)
+		write(&wire.Response{ID: req.ID, Status: st, Card: int16(card), Payload: payload})
+		finish()
+		fr.Release()
+		r.observeRoute(start, backendNS, err, ref.TraceID)
+		r.opts.Tracer.End(ref, routeStatus(err))
+	}()
+}
+
+// responseFor maps a route outcome onto the wire response the router
+// answers downstream.
+func responseFor(out []byte, err error) (wire.Status, []byte) {
+	if err == nil {
+		return wire.StatusOK, out
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return se.Status, []byte(se.Msg)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return wire.StatusDeadlineExceeded, []byte("deadline exceeded in router")
+	}
+	return wire.StatusUnavailable, []byte(err.Error())
+}
+
+// closeConns abruptly closes every front-end connection.
+func (r *Router) closeConns() {
+	r.mu.Lock()
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// stopBackends cancels probes, waits them out, and closes every
+// backend client. Idempotent.
+func (r *Router) stopBackends() {
+	r.stop.Do(func() {
+		r.pcancel()
+		r.probes.Wait()
+		for _, name := range r.order {
+			r.backends[name].closeClient()
+		}
+	})
+}
+
+// Shutdown gracefully drains the router: the listener closes, new
+// requests are refused with UNAVAILABLE + DrainMessage (so an upstream
+// router ejects this one cleanly), admitted requests finish, then
+// connections, probes, and backend clients close. Returns ctx.Err()
+// if the drain outlives ctx.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	r.draining = true
+	ln := r.ln
+	r.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		r.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	r.closeConns()
+	r.connWG.Wait()
+	r.stopBackends()
+	return err
+}
+
+// Close shuts the router down without waiting for in-flight requests.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	r.draining = true
+	ln := r.ln
+	r.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	r.closeConns()
+	r.connWG.Wait()
+	r.stopBackends()
+	return nil
+}

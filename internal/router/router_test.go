@@ -1,0 +1,455 @@
+package router_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"agilefpga/internal/algos"
+	"agilefpga/internal/client"
+	"agilefpga/internal/cluster"
+	"agilefpga/internal/core"
+	"agilefpga/internal/fpga"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/router"
+	"agilefpga/internal/server"
+	"agilefpga/internal/wire"
+)
+
+// node is one in-process agilenetd backend: cluster + server + its
+// listener, restartable on the same address for reinstatement tests.
+type node struct {
+	addr string
+	cl   *cluster.Cluster
+	srv  *server.Server
+	serr chan error
+}
+
+func startNode(t *testing.T, addr string, cards int) *node {
+	t.Helper()
+	cl, err := cluster.New(cards, cluster.ModeAffinity,
+		core.Config{Geometry: fpga.Geometry{Rows: 32, Cols: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cl, server.Options{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	n := &node{addr: ln.Addr().String(), cl: cl, srv: srv, serr: make(chan error, 1)}
+	go func() { n.serr <- srv.Serve(ln) }()
+	return n
+}
+
+func (n *node) stop() {
+	n.srv.Close()
+	<-n.serr
+	n.cl.Close()
+}
+
+// fleet is N backends plus teardown. The router under test is built
+// separately so tests control its options.
+type fleet struct {
+	nodes []*node
+	addrs []string
+}
+
+func newFleet(t *testing.T, n, cards int) *fleet {
+	t.Helper()
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		nd := startNode(t, "127.0.0.1:0", cards)
+		f.nodes = append(f.nodes, nd)
+		f.addrs = append(f.addrs, nd.addr)
+	}
+	t.Cleanup(func() {
+		for _, nd := range f.nodes {
+			if nd != nil {
+				nd.stop()
+			}
+		}
+	})
+	return f
+}
+
+// kill abruptly stops node i (connections die mid-flight).
+func (f *fleet) kill(t *testing.T, i int) {
+	t.Helper()
+	f.nodes[i].stop()
+	f.nodes[i] = nil
+}
+
+// restart brings node i back on its original address.
+func (f *fleet) restart(t *testing.T, i int, cards int) {
+	t.Helper()
+	f.nodes[i] = startNode(t, f.addrs[i], cards)
+}
+
+func newTestRouter(t *testing.T, f *fleet, opts router.Options) (*router.Router, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	if opts.Metrics == nil {
+		opts.Metrics = reg
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	r, err := router.New(f.addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, reg
+}
+
+// TestRouterEndToEndMatchesDirectCall proves the hop is transparent:
+// bytes routed through the fleet equal bytes from a direct cluster
+// call, for several functions landing on different backends.
+func TestRouterEndToEndMatchesDirectCall(t *testing.T) {
+	f := newFleet(t, 2, 2)
+	r, _ := newTestRouter(t, f, router.Options{})
+	in := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, fn := range []*algos.Function{algos.CRC32(), algos.MD5(), algos.SHA1(), algos.FIR()} {
+		direct, _, err := f.nodes[0].cl.Call(fn.ID(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, card, err := r.Call(context.Background(), fn.ID(), in)
+		if err != nil {
+			t.Fatalf("%s: %v", fn.Name(), err)
+		}
+		if !bytes.Equal(got, direct.Output) {
+			t.Fatalf("%s: routed output %x != direct %x", fn.Name(), got, direct.Output)
+		}
+		if card < 0 {
+			t.Fatalf("%s: served by card %d", fn.Name(), card)
+		}
+	}
+}
+
+// TestRouterAffinity pins the tentpole routing property: absent
+// overload, every call for one function lands on exactly one backend
+// (the ring primary), so that node's cards stay resident for it.
+func TestRouterAffinity(t *testing.T) {
+	f := newFleet(t, 3, 1)
+	r, reg := newTestRouter(t, f, router.Options{})
+	in := []byte{9, 9, 9, 9}
+	fn := algos.CRC32().ID()
+	for i := 0; i < 20; i++ {
+		if _, _, err := r.Call(context.Background(), fn, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	served := 0
+	for _, addr := range f.addrs {
+		n := reg.Counter("agile_router_forwards_total",
+			metrics.L("backend", addr), metrics.L("status", "ok")).Value()
+		if n > 0 {
+			served++
+			if n != 20 {
+				t.Fatalf("backend %s served %d of 20", addr, n)
+			}
+		}
+	}
+	if served != 1 {
+		t.Fatalf("one function spread over %d backends without load", served)
+	}
+}
+
+// TestRouterSpill drives one hot function with more concurrency than
+// the spill threshold: calls must overflow onto a ring replica (both
+// backends serve, spills counter advances) — the load-aware
+// replication behaviour.
+func TestRouterSpill(t *testing.T) {
+	f := newFleet(t, 2, 1)
+	r, reg := newTestRouter(t, f, router.Options{SpillThreshold: 1, Replication: 2})
+	fn := algos.SHA256().ID()
+	in := make([]byte, 64)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := r.Call(context.Background(), fn, in); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	var spills uint64
+	served := 0
+	for _, b := range r.Backends() {
+		spills += b.Spills
+		if reg.Counter("agile_router_forwards_total",
+			metrics.L("backend", b.Addr), metrics.L("status", "ok")).Value() > 0 {
+			served++
+		}
+	}
+	if spills == 0 {
+		t.Fatal("no spills recorded at threshold 1 under 64-way concurrency")
+	}
+	if served != 2 {
+		t.Fatalf("spilled traffic reached %d backends, want 2", served)
+	}
+}
+
+// TestRouterKillFailoverAndReinstate is the availability contract: a
+// backend dying mid-run causes zero failed well-formed requests (its
+// traffic retries onto survivors after ejection), and when the node
+// returns the probe loop reinstates it.
+func TestRouterKillFailoverAndReinstate(t *testing.T) {
+	f := newFleet(t, 3, 1)
+	r, _ := newTestRouter(t, f, router.Options{
+		ProbeBase: 10 * time.Millisecond, ProbeMax: 100 * time.Millisecond,
+	})
+	in := []byte{1, 2, 3, 4}
+	fns := []uint16{algos.CRC32().ID(), algos.MD5().ID(), algos.SHA1().ID(),
+		algos.FIR().ID(), algos.AES128().ID(), algos.DES().ID()}
+	call := func(i int) {
+		if _, _, err := r.Call(context.Background(), fns[i%len(fns)], in); err != nil {
+			t.Errorf("call %d failed: %v", i, err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		call(i)
+	}
+	f.kill(t, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			call(i)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var ejections uint64
+	for _, b := range r.Backends() {
+		ejections += b.Ejections
+	}
+	if ejections == 0 {
+		t.Fatal("killed backend was never ejected")
+	}
+
+	f.restart(t, 1, 1)
+	deadline := time.Now().Add(10 * time.Second) //lint:wallclock test polls for probe-based reinstatement in real time
+	for {
+		var reinstated uint64
+		for _, b := range r.Backends() {
+			reinstated += b.Reinstatements
+		}
+		if reinstated > 0 {
+			break
+		}
+		if time.Now().After(deadline) { //lint:wallclock test polls for probe-based reinstatement in real time
+			t.Fatal("restarted backend never reinstated")
+		}
+		time.Sleep(5 * time.Millisecond) //lint:wallclock test polls for probe-based reinstatement in real time
+	}
+	for i := 0; i < 30; i++ {
+		call(i)
+	}
+}
+
+// startDrainStub runs a wire-speaking backend stuck mid-drain: every
+// request is answered UNAVAILABLE + server.DrainMessage, exactly what
+// a draining agilenetd sends while its listener is still reachable.
+func startDrainStub(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	conns := make(map[net.Conn]struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns[c] = struct{}{}
+			mu.Unlock()
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				br := bufio.NewReader(c)
+				for {
+					req := new(wire.Request)
+					fr, err := wire.ReadRequestFrame(br, req)
+					if err != nil {
+						return
+					}
+					fr.Release()
+					wire.WriteResponse(c, &wire.Response{ID: req.ID,
+						Status: wire.StatusUnavailable, Card: -1,
+						Payload: []byte(server.DrainMessage)})
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+		wg.Wait()
+	})
+	return ln.Addr().String()
+}
+
+// TestRouterDrainEjection: a draining backend answers UNAVAILABLE +
+// DrainMessage; the router must eject it on the FIRST such answer —
+// drain bypasses the consecutive-failure threshold — while every call
+// keeps succeeding on the survivor.
+func TestRouterDrainEjection(t *testing.T) {
+	f := newFleet(t, 1, 1)
+	stub := startDrainStub(t)
+	reg := metrics.NewRegistry()
+	r, err := router.New([]string{stub, f.addrs[0]}, router.Options{
+		// A huge threshold proves the drain path ejects on its own.
+		EjectAfter: 1000,
+		Seed:       1,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	in := []byte{5, 5, 5, 5}
+	fns := []*algos.Function{algos.CRC32(), algos.MD5(), algos.SHA1(), algos.FIR(),
+		algos.SHA256(), algos.AES128(), algos.DES(), algos.FFT()}
+	for i, fn := range fns {
+		if _, _, err := r.Call(context.Background(), fn.ID(), in); err != nil {
+			t.Fatalf("call %d (%s): %v", i, fn.Name(), err)
+		}
+	}
+	drained := false
+	for _, b := range r.Backends() {
+		if b.Addr == stub && b.Ejections > 0 && b.State != "healthy" {
+			drained = true
+		}
+	}
+	if !drained {
+		t.Fatalf("draining backend was not ejected: %+v", r.Backends())
+	}
+}
+
+// TestRouterScatterGather: CallMulti fans a multi-function batch
+// across the fleet and gathers results in input order, each equal to
+// its direct-call twin.
+func TestRouterScatterGather(t *testing.T) {
+	f := newFleet(t, 3, 2)
+	r, _ := newTestRouter(t, f, router.Options{})
+	in := []byte{7, 6, 5, 4, 3, 2, 1, 0}
+	fns := []*algos.Function{algos.CRC32(), algos.MD5(), algos.SHA1(), algos.SHA256(),
+		algos.FIR(), algos.AES128()}
+	calls := make([]router.MultiCall, len(fns))
+	for i, fn := range fns {
+		calls[i] = router.MultiCall{Fn: fn.ID(), Payload: in}
+	}
+	results := r.CallMulti(context.Background(), calls)
+	if len(results) != len(calls) {
+		t.Fatalf("got %d results for %d calls", len(results), len(calls))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", fns[i].Name(), res.Err)
+		}
+		direct, _, err := f.nodes[0].cl.Call(fns[i].ID(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Output, direct.Output) {
+			t.Fatalf("%s: scatter output %x != direct %x", fns[i].Name(), res.Output, direct.Output)
+		}
+	}
+}
+
+// TestRouterWireFrontEnd puts the router on the wire: an ordinary mux
+// client dials the router as if it were a single agilenetd node, and
+// the hop stays transparent — outputs match, deadlines propagate, the
+// hop-overhead histogram fills.
+func TestRouterWireFrontEnd(t *testing.T) {
+	f := newFleet(t, 2, 2)
+	r, reg := newTestRouter(t, f, router.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serr := make(chan error, 1)
+	go func() { serr <- r.Serve(ln) }()
+	t.Cleanup(func() {
+		r.Close()
+		<-serr
+	})
+
+	c, err := client.Dial(ln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in := []byte{1, 1, 2, 3, 5, 8, 13, 21}
+	for _, fn := range []*algos.Function{algos.CRC32(), algos.MD5(), algos.FFT()} {
+		direct, _, err := f.nodes[0].cl.Call(fn.ID(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		got, _, err := c.Call(ctx, fn.ID(), in)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: %v", fn.Name(), err)
+		}
+		if !bytes.Equal(got, direct.Output) {
+			t.Fatalf("%s: wire output %x != direct %x", fn.Name(), got, direct.Output)
+		}
+	}
+	// A non-OK backend status crosses both hops intact.
+	_, _, err = c.Call(context.Background(), 0x7777, in)
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != wire.StatusNotFound {
+		t.Fatalf("unknown function through two hops: got %v, want NOT_FOUND", err)
+	}
+	if n := reg.Histogram("agile_router_hop_overhead_seconds").Count(); n == 0 {
+		t.Fatal("hop-overhead histogram is empty after wire calls")
+	}
+}
+
+// TestRouterDeadlineShortCircuit: an already-expired context never
+// reaches a backend.
+func TestRouterDeadlineShortCircuit(t *testing.T) {
+	f := newFleet(t, 1, 1)
+	r, reg := newTestRouter(t, f, router.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := r.Call(ctx, algos.CRC32().ID(), []byte{1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := reg.Counter("agile_router_forwards_total",
+		metrics.L("backend", f.addrs[0]), metrics.L("status", "ok")).Value(); n != 0 {
+		t.Fatalf("cancelled call reached a backend %d times", n)
+	}
+}

@@ -55,6 +55,13 @@ const DefaultBatchDwell = 200 * time.Microsecond
 // ErrServerClosed is returned by Serve after Shutdown or Close.
 var ErrServerClosed = errors.New("server: closed")
 
+// DrainMessage is the diagnostic a draining server attaches to its
+// UNAVAILABLE refusals. Routers match it to tell a graceful drain
+// (stop sending, node is leaving deliberately) from a crashed or
+// overloaded backend — the message is part of the protocol surface,
+// not free-form text.
+const DrainMessage = "server draining"
+
 // Options tunes the server. The zero value of every field selects a
 // default.
 type Options struct {
@@ -255,7 +262,7 @@ func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wir
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.refuse(req, write, wire.StatusUnavailable, "server draining")
+		s.refuse(req, write, wire.StatusUnavailable, DrainMessage)
 		finish()
 		fr.Release()
 		return
@@ -477,6 +484,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.connWG.Wait()
 	}
 	return err
+}
+
+// Draining reports whether Shutdown or Close has begun — once true,
+// every new request is refused with UNAVAILABLE + DrainMessage.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Close shuts the server down without waiting for in-flight requests.

@@ -52,6 +52,21 @@ func FuzzDecodeRequest(f *testing.F) {
 	// never emit them) and must be rejected, not silently accepted.
 	f.Add(malformedTrace(0, 7, 0))
 	f.Add(malformedTrace(3, 7, 0x80))
+	// Router-forwarded shapes: agilerouter decodes a client frame and
+	// re-encodes it toward a backend with its own request id, its own
+	// span id under the same trace id, and the remaining deadline
+	// budget. Seed the inbound frame, the forwarded frame, and the
+	// two-hop concatenation (both hops on one stream), traced and
+	// untraced.
+	inbound := &Request{ID: 21, Fn: 5, Deadline: 2 * time.Second, Payload: []byte("hop"),
+		Trace: TraceContext{TraceID: 0xFEED, SpanID: 0x1001, Flags: FlagSampled}}
+	forwarded := &Request{ID: 1, Fn: 5, Deadline: 1900 * time.Millisecond, Payload: []byte("hop"),
+		Trace: TraceContext{TraceID: 0xFEED, SpanID: 0x2002, Flags: FlagSampled}}
+	f.Add(AppendRequest(nil, forwarded))
+	f.Add(AppendRequest(AppendRequest(nil, inbound), forwarded))
+	f.Add(AppendRequest(
+		AppendRequest(nil, &Request{ID: 22, Fn: 6, Deadline: time.Second, Payload: []byte("hop")}),
+		&Request{ID: 2, Fn: 6, Deadline: 900 * time.Millisecond, Payload: []byte("hop")}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, n, err := DecodeRequest(data)
@@ -99,6 +114,17 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(pipelinedResponses(6, 6))
 	two := pipelinedResponses(7, 8)
 	f.Add(two[:len(two)-5])
+	// Router-forwarded shapes: the backend's response to the router's
+	// mux id followed by the router's re-encoded response to the
+	// client's original id, same payload and card — both hops of a
+	// proxied reply on one stream, plus an error passthrough
+	// (RESOURCE_EXHAUSTED relayed verbatim to the caller).
+	f.Add(AppendResponse(
+		AppendResponse(nil, &Response{ID: 1, Status: StatusOK, Card: 3, Payload: []byte("hop")}),
+		&Response{ID: 21, Status: StatusOK, Card: 3, Payload: []byte("hop")}))
+	f.Add(AppendResponse(
+		AppendResponse(nil, &Response{ID: 2, Status: StatusResourceExhausted, Card: -1, Payload: []byte("card queue full")}),
+		&Response{ID: 22, Status: StatusResourceExhausted, Card: -1, Payload: []byte("card queue full")}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, n, err := DecodeResponse(data)
