@@ -2,8 +2,11 @@
 // project-specific static-analysis suite (internal/analysis): it
 // machine-checks the simulator's core invariants — virtual-time
 // purity, lock discipline, sentinel-error matching, no blocking
-// channel operations under a mutex, and passive metrics — on every
-// commit.
+// channel operations under a mutex, passive metrics, pooled-frame
+// release, span end, context propagation, atomic/plain access
+// separation, and global lock ordering — on every commit. Stale
+// //lint: directives (suppressions that suppress nothing) are
+// reported as findings too.
 //
 // Standalone mode resolves package patterns with the go tool:
 //
@@ -35,7 +38,9 @@ func main() {
 	// handing it units of work.
 	for _, a := range args {
 		if a == "-V=full" || a == "-V" {
-			fmt.Printf("agilelint version v1.0.0\n")
+			// Bumped whenever the analyzer set or semantics change, so
+			// vet's action cache re-runs every unit.
+			fmt.Printf("agilelint version v2.0.0\n")
 			return
 		}
 		// The go command also asks which analyzer flags the tool exposes

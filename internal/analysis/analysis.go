@@ -23,6 +23,24 @@
 //     cluster/server serving layers.
 //   - passivemetrics: metrics observation is passive; an observation
 //     argument must never advance a virtual clock domain.
+//   - framerelease: every pooled wire.Frame acquisition reaches
+//     Frame.Release exactly once on every path — no leak, no
+//     double-release, no use after release (hard in wire/server).
+//   - spanend: every Tracer.StartRoot/StartRemote/StartChild reaches
+//     Tracer.End on every return path; zero SpanRefs are no-ops.
+//   - ctxflow: request-path functions that receive a context.Context
+//     propagate it — no context.Background()/TODO() below the
+//     server/router entry points, no nil context arguments.
+//   - atomicmix: a variable ever accessed through sync/atomic is never
+//     read or written plainly.
+//   - lockorder: the static lock-acquisition graph across packages is
+//     acyclic, so no two code paths can deadlock by taking the same
+//     locks in opposite orders.
+//
+// The framework additionally reports stale //lint: directives — a
+// suppression that suppresses nothing is itself a finding (analyzer
+// name staledirective), so exceptions cannot outlive the code they
+// excused.
 //
 // DESIGN.md §11 documents each invariant; cmd/agilelint is the
 // multichecker that runs the suite over the tree.
@@ -34,7 +52,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // An Analyzer describes one invariant check.
@@ -45,8 +62,15 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant.
 	Doc string
 	// Run performs the check over one package, reporting findings
-	// through the pass.
+	// through the pass. Exactly one of Run and RunSuite is set.
 	Run func(*Pass) error
+	// RunSuite performs a whole-program check over every loaded
+	// package at once (one pass per package), for invariants — like
+	// lock ordering — that only exist across package boundaries.
+	// Under the vet-tool protocol the go command hands agilelint one
+	// package at a time, so a RunSuite analyzer sees a single pass
+	// there and degrades to its intra-package findings.
+	RunSuite func([]*Pass) error
 }
 
 // A Pass is one analyzer's view of one type-checked package.
@@ -103,42 +127,67 @@ func All() []*Analyzer {
 		SentinelErr,
 		ChanUnderMutex,
 		PassiveMetrics,
+		FrameRelease,
+		SpanEnd,
+		CtxFlow,
+		AtomicMix,
+		LockOrder,
 	}
 }
 
 // RunAnalyzers runs every analyzer over every package, applies
-// directive suppression, and returns the surviving diagnostics sorted
-// by position. Test files (_test.go) are skipped: the invariants
-// guard production code, and tests legitimately use wall clocks and
-// raw comparisons.
+// directive suppression, reports stale directives, and returns the
+// surviving diagnostics sorted by position. Test files (_test.go) are
+// skipped: the invariants guard production code, and tests
+// legitimately use wall clocks and raw comparisons. Analyzers with a
+// RunSuite hook run once over all packages together so they can see
+// cross-package structure.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		files := make([]*ast.File, 0, len(pkg.Files))
-		for _, f := range pkg.Files {
-			name := pkg.Fset.Position(f.Package).Filename
-			if strings.HasSuffix(name, "_test.go") {
-				continue
-			}
-			files = append(files, f)
+	newPass := func(pkg *Package, a *Analyzer) *Pass {
+		return &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.sourceFiles(),
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report: func(d Diagnostic) {
+				if d.Hard || !pkg.directives.allows(d.Analyzer, d.Pos) {
+					out = append(out, d)
+				}
+			},
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				report: func(d Diagnostic) {
-					if d.Hard || !pkg.directives.allows(d.Analyzer, d.Pos) {
-						out = append(out, d)
-					}
-				},
-			}
-			if err := a.Run(pass); err != nil {
+	}
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			if err := a.Run(newPass(pkg, a)); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunSuite == nil {
+			continue
+		}
+		passes := make([]*Pass, len(pkgs))
+		for i, pkg := range pkgs {
+			passes[i] = newPass(pkg, a)
+		}
+		if err := a.RunSuite(passes); err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+		}
+	}
+	// A directive that suppressed nothing — for an analyzer that did
+	// run — is itself a finding.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		out = append(out, pkg.directives.stale(ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {

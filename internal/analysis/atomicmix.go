@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicAccessFuncs are the function-style sync/atomic entry points:
+// any variable whose address reaches one of these is an atomic
+// variable and must never be touched plainly again.
+var atomicAccessFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// AtomicMix forbids mixing sync/atomic and plain access to the same
+// variable.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: `a variable ever accessed through sync/atomic must never be read or written plainly
+
+Mixed access is a data race the race detector only catches when both
+sides execute in one test run: a counter bumped with atomic.AddUint64
+on the hot path but read bare in a stats snapshot tears on 32-bit
+platforms and is undefined everywhere. Within each package the
+analyzer collects every variable whose address is passed to a
+function-style sync/atomic call (metrics counters, router
+inflight/ejection state and friends) and reports any other plain read
+or write of it. The typed atomic.IntNN/UintNN wrappers make this
+mistake unrepresentable — prefer them; the analyzer exists for the
+function-style residue. A provably single-threaded access (e.g. in a
+constructor before the value is shared) carries //lint:allow atomicmix
+with a justification.`,
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: variables whose address reaches sync/atomic, and the
+	// &-operand nodes themselves (excluded from the plain-access scan).
+	type atomicSite struct {
+		fn  string
+		pos token.Position
+	}
+	atomicVars := make(map[*types.Var]atomicSite)
+	atomicOperands := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" || !atomicAccessFuncs[fn.Name()] {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			v := addressedVar(pass, addr.X)
+			if v == nil {
+				return true
+			}
+			atomicOperands[addr] = true
+			if _, seen := atomicVars[v]; !seen {
+				atomicVars[v] = atomicSite{fn: fn.Name(), pos: pass.Fset.Position(call.Pos())}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	// Pass 2: any other appearance of an atomic variable is a plain
+	// access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if atomicOperands[n] {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[id]
+			if !ok {
+				return true
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return true
+			}
+			site, isAtomic := atomicVars[v]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed with sync/atomic.%s (line %d) but read or written plainly here: mixed access is a data race — use the atomic accessors everywhere, or a typed atomic.IntNN",
+				id.Name, site.fn, site.pos.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedVar resolves the operand of &x / &s.f to the variable or
+// field it names.
+func addressedVar(pass *Pass, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s := pass.Info.Selections[e]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := pass.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces deadline and cancellation propagation: a function
+// that receives a context.Context must thread it through, never mint a
+// fresh root context or pass nil where a context is expected.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: `request-path functions that receive a context must propagate it
+
+The wire protocol carries the caller's deadline on every hop and the
+cluster enforces it at admission, in queue and on card — but only if
+every layer hands the same context down. A context.Background() (or
+TODO()) below an entry point silently detaches the work from the
+caller's deadline and cancellation: the router keeps waiting on a
+backend the client already abandoned. The analyzer reports
+context.Background/context.TODO calls inside any function — or
+closure nested in one — that receives a context.Context parameter,
+and nil passed as a context.Context argument anywhere. True entry
+points (main, connection accept loops, probe goroutines) take no
+context parameter and may mint roots freely. Deliberate detachment
+(e.g. fire-and-forget cleanup that must outlive the request) carries
+//lint:allow ctxflow with a justification.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil {
+				name = recvTypeName(pass, fd.Recv) + "." + name
+			}
+			ctxWalk(pass, fd.Body, hasCtxParam(pass, fd.Type), name)
+		}
+	}
+	return nil
+}
+
+// ctxWalk scans one function body; inCtx says whether this function
+// (or an enclosing one, for literals) receives a context.Context.
+func ctxWalk(pass *Pass, body *ast.BlockStmt, inCtx bool, name string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ctxWalk(pass, n.Body, inCtx || hasCtxParam(pass, n.Type), name)
+			return false
+		case *ast.CallExpr:
+			f := calleeFunc(pass.Info, n)
+			if f == nil {
+				return true
+			}
+			if inCtx && funcPkgPath(f) == "context" && (f.Name() == "Background" || f.Name() == "TODO") {
+				pass.Reportf(n.Pos(),
+					"context.%s() inside %s, which receives a context.Context: a fresh root drops the caller's deadline and cancellation — propagate the ctx parameter",
+					f.Name(), name)
+			}
+			reportNilCtxArgs(pass, n, f)
+		}
+		return true
+	})
+}
+
+// reportNilCtxArgs flags nil passed where the callee expects a
+// context.Context.
+func reportNilCtxArgs(pass *Pass, call *ast.CallExpr, f *types.Func) {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		tv, ok := pass.Info.Types[arg]
+		if !ok || !tv.IsNil() {
+			continue
+		}
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt != nil && isContextType(pt) {
+			pass.Reportf(arg.Pos(),
+				"nil passed as the context.Context argument of %s: a nil context panics in the stdlib and carries no deadline — pass the caller's ctx (or context.Background at a true entry point)",
+				f.Name())
+		}
+	}
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// recvTypeName names a method's receiver type for messages.
+func recvTypeName(pass *Pass, recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return "?"
+	}
+	if tv, ok := pass.Info.Types[recv.List[0].Type]; ok {
+		if named, ok := deref(tv.Type).(*types.Named); ok {
+			return named.Obj().Name()
+		}
+	}
+	return "?"
+}

@@ -22,17 +22,38 @@ import (
 // declaration that begins on the next line (so one directive can cover
 // a multi-line select or function). Hard diagnostics (wall-clock use
 // inside the simulation domain) ignore directives entirely.
+//
+// A directive that suppresses nothing is itself an error: stale
+// suppressions outlive the code they excused and silently blind the
+// suite to new violations on the same line. RunAnalyzers reports them
+// under the staledirective name whenever the directive's analyzer is
+// part of the run.
 var directiveRe = regexp.MustCompile(`^//lint:(wallclock\b|allow\s+([A-Za-z][A-Za-z0-9]*))`)
+
+// StaleDirectiveName labels the framework-level diagnostics for
+// //lint: directives that suppress zero findings.
+const StaleDirectiveName = "staledirective"
+
+// directive is one //lint: comment in a file. One directive may own
+// several line ranges (its own line plus the statement it heads), but
+// staleness is judged per directive, not per range.
+type directive struct {
+	analyzer string // canonical analyzer name (wallclock → virtualtime)
+	display  string // source spelling, e.g. "//lint:wallclock"
+	pos      token.Position
+	used     bool
+}
 
 // lineRange is a directive's reach within one file.
 type lineRange struct {
 	from, to int
-	analyzer string
+	dir      *directive
 }
 
 // directiveIndex records where //lint: directives apply, per file.
 type directiveIndex struct {
-	ranges map[string][]lineRange
+	ranges     map[string][]lineRange
+	directives []*directive
 }
 
 // parseDirective extracts the analyzer name a comment line allows, or
@@ -53,20 +74,25 @@ func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex
 	idx := &directiveIndex{ranges: make(map[string][]lineRange)}
 	for _, f := range files {
 		fname := fset.Position(f.Package).Filename
-		type pending struct {
-			line     int
-			analyzer string
-		}
-		var directives []pending
+		var directives []*directive
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				name := parseDirective(c.Text)
 				if name == "" {
 					continue
 				}
-				line := fset.Position(c.Pos()).Line
-				directives = append(directives, pending{line, name})
-				idx.ranges[fname] = append(idx.ranges[fname], lineRange{line, line, name})
+				display := "//lint:allow " + name
+				if strings.HasPrefix(c.Text, "//lint:wallclock") {
+					display = "//lint:wallclock"
+				}
+				d := &directive{
+					analyzer: name,
+					display:  display,
+					pos:      fset.Position(c.Pos()),
+				}
+				directives = append(directives, d)
+				idx.directives = append(idx.directives, d)
+				idx.ranges[fname] = append(idx.ranges[fname], lineRange{d.pos.Line, d.pos.Line, d})
 			}
 		}
 		if len(directives) == 0 {
@@ -75,9 +101,9 @@ func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex
 		// Extend standalone directives over the statement or
 		// declaration starting on the following line: record the
 		// widest node whose first line is directive line + 1.
-		want := make(map[int][]pending) // start line -> directives
+		want := make(map[int][]*directive) // start line -> directives
 		for _, d := range directives {
-			want[d.line+1] = append(want[d.line+1], d)
+			want[d.pos.Line+1] = append(want[d.pos.Line+1], d)
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			if n == nil {
@@ -95,7 +121,7 @@ func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex
 			}
 			end := fset.Position(n.End()).Line
 			for _, d := range ds {
-				idx.ranges[fname] = append(idx.ranges[fname], lineRange{start.Line, end, d.analyzer})
+				idx.ranges[fname] = append(idx.ranges[fname], lineRange{start.Line, end, d})
 			}
 			// Widest node wins; nested nodes on the same line only
 			// narrow the range, so stop matching this line.
@@ -106,15 +132,42 @@ func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex
 	return idx
 }
 
-// allows reports whether a directive covers the diagnostic.
+// allows reports whether a directive covers the diagnostic, marking
+// every covering directive used (so staleness reflects what actually
+// suppressed something).
 func (idx *directiveIndex) allows(analyzer string, pos token.Position) bool {
 	if idx == nil {
 		return false
 	}
+	ok := false
 	for _, r := range idx.ranges[pos.Filename] {
-		if r.analyzer == analyzer && pos.Line >= r.from && pos.Line <= r.to {
-			return true
+		if r.dir.analyzer == analyzer && pos.Line >= r.from && pos.Line <= r.to {
+			r.dir.used = true
+			ok = true
 		}
 	}
-	return false
+	return ok
+}
+
+// stale returns one diagnostic per directive that suppressed nothing,
+// restricted to directives naming an analyzer in ran (a directive for
+// an analyzer that did not run this invocation cannot be judged).
+// Directives in _test.go files are exempt: analyzers skip test files,
+// so nothing there could ever mark them used.
+func (idx *directiveIndex) stale(ran map[string]bool) []Diagnostic {
+	if idx == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, d := range idx.directives {
+		if d.used || !ran[d.analyzer] || strings.HasSuffix(d.pos.Filename, "_test.go") {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: StaleDirectiveName,
+			Message:  "stale directive: " + d.display + " suppresses no " + d.analyzer + " diagnostic; delete it so the suppression cannot outlive the code it excused",
+		})
+	}
+	return out
 }

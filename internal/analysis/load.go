@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // A Package is one loaded, type-checked package ready for analysis.
@@ -26,6 +27,21 @@ type Package struct {
 	Info  *types.Info
 
 	directives *directiveIndex
+}
+
+// sourceFiles returns the package's non-test files. Analyzers only see
+// these: the invariants guard production code, and tests legitimately
+// use wall clocks, raw comparisons, and ad-hoc lifecycles.
+func (p *Package) sourceFiles() []*ast.File {
+	files := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files
 }
 
 // listedPackage is the subset of `go list -json` output the loader

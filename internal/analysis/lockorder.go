@@ -1,0 +1,473 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder builds the static lock-acquisition graph — which mutexes
+// are acquired while which others are held, across every analysed
+// package at once — and rejects cycles: two paths taking the same pair
+// of locks in opposite orders deadlock the first time they interleave.
+// It generalises lockcheck (which checks one lock's caller-must-hold
+// contract) to the ordering relation between different locks.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: `the lock-acquisition order across cluster/server/router/client must be acyclic
+
+Every Lock/RLock acquired while another mutex is held adds an edge
+held→acquired to a global lock-order graph. Edges come from direct
+lexical nesting and from calls: a function's transitive lock footprint
+(what it or its callees acquire synchronously) is propagated to every
+call site made under a held lock, so an ordering through a call chain
+— cluster holds stopMu and calls metrics.Registry.Counter, which
+takes the registry mutex — is one edge, the same as a lexical pair.
+Goroutine bodies, deferred calls and uninvoked function literals are
+excluded (they run outside the acquiring path). Lock identity is the
+mutex variable: a struct field is one lock class per owning type, a
+package-level or local mutex is its own class. A cycle is reported at
+every participating acquisition site. Under go vet's one-package-at-a-
+time protocol only intra-package edges are visible; the standalone
+run (CI's agilelint ./...) sees the whole graph. Suppress a
+demonstrably unreachable pairing with //lint:allow lockorder and a
+justification.`,
+	RunSuite: runLockOrder,
+}
+
+// loLockRef is one live acquisition while walking.
+type loLockRef struct {
+	key     string
+	display string
+	pos     token.Pos
+}
+
+// loCallSite is a resolvable call made while holding locks.
+type loCallSite struct {
+	callee string // types.Func FullName
+	held   []loLockRef
+	pass   *Pass
+	pos    token.Pos
+}
+
+// loFuncInfo summarises one function for interprocedural propagation.
+type loFuncInfo struct {
+	locks map[string]bool // lock keys acquired directly (synchronous code only)
+	calls map[string]bool // callee FullNames (synchronous code only)
+}
+
+// loEdge is the earliest witness for one held→acquired pair.
+type loEdge struct {
+	from, to    string
+	fromDisplay string
+	toDisplay   string
+	pass        *Pass
+	pos         token.Pos
+}
+
+type loCollector struct {
+	infos   map[string]*loFuncInfo
+	display map[string]string // lock key → display name
+	sites   []loCallSite
+	edges   map[[2]string]*loEdge
+}
+
+func runLockOrder(passes []*Pass) error {
+	c := &loCollector{
+		infos:   make(map[string]*loFuncInfo),
+		display: make(map[string]string),
+		edges:   make(map[[2]string]*loEdge),
+	}
+	// Phase 1: per-function walks — direct edges, call sites, summaries.
+	for _, pass := range passes {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				info := &loFuncInfo{locks: make(map[string]bool), calls: make(map[string]bool)}
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					name := fn.FullName()
+					if prev, ok := c.infos[name]; ok {
+						info = prev // merge multiple init funcs etc.
+					} else {
+						c.infos[name] = info
+					}
+				}
+				w := &loWalker{c: c, pass: pass, info: info}
+				w.block(fd.Body, map[string]loLockRef{})
+			}
+		}
+	}
+	// Phase 2: transitive lock footprints to a fixpoint.
+	trans := make(map[string]map[string]bool, len(c.infos))
+	for name, info := range c.infos {
+		t := make(map[string]bool, len(info.locks))
+		for k := range info.locks {
+			t[k] = true
+		}
+		trans[name] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, info := range c.infos {
+			t := trans[name]
+			for callee := range info.calls {
+				for k := range trans[callee] {
+					if !t[k] {
+						t[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Phase 3: expand call sites made under held locks.
+	for _, s := range c.sites {
+		for k := range trans[s.callee] {
+			for _, h := range s.held {
+				c.addEdge(h.key, k, h.display, c.display[k], s.pass, s.pos)
+			}
+		}
+	}
+	// Phase 4: find strongly connected components; every edge inside a
+	// multi-node component is part of a cycle.
+	c.reportCycles()
+	return nil
+}
+
+func (c *loCollector) addEdge(from, to, fromDisplay, toDisplay string, pass *Pass, pos token.Pos) {
+	if from == to {
+		return // re-acquisition of one class is lockcheck's domain
+	}
+	key := [2]string{from, to}
+	p := pass.Fset.Position(pos)
+	if prev, ok := c.edges[key]; ok {
+		q := prev.pass.Fset.Position(prev.pos)
+		if q.Filename < p.Filename || (q.Filename == p.Filename && q.Offset <= p.Offset) {
+			return
+		}
+	}
+	c.edges[key] = &loEdge{from: from, to: to, fromDisplay: fromDisplay, toDisplay: toDisplay, pass: pass, pos: pos}
+}
+
+func (c *loCollector) reportCycles() {
+	// Kosaraju–Sharir over the (tiny) key graph, with sorted node
+	// order for determinism.
+	adj := make(map[string][]string)
+	radj := make(map[string][]string)
+	nodeSet := make(map[string]bool)
+	for k := range c.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		radj[k[1]] = append(radj[k[1]], k[0])
+		nodeSet[k[0]], nodeSet[k[1]] = true, true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+		sort.Strings(radj[n])
+	}
+	var order []string
+	visited := make(map[string]bool)
+	var dfs1 func(string)
+	dfs1 = func(n string) {
+		visited[n] = true
+		for _, m := range adj[n] {
+			if !visited[m] {
+				dfs1(m)
+			}
+		}
+		order = append(order, n)
+	}
+	for _, n := range nodes {
+		if !visited[n] {
+			dfs1(n)
+		}
+	}
+	comp := make(map[string]int)
+	var dfs2 func(string, int)
+	dfs2 = func(n string, id int) {
+		comp[n] = id
+		for _, m := range radj[n] {
+			if _, ok := comp[m]; !ok {
+				dfs2(m, id)
+			}
+		}
+	}
+	ncomp := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		if _, ok := comp[order[i]]; !ok {
+			dfs2(order[i], ncomp)
+			ncomp++
+		}
+	}
+	compSize := make(map[int]int)
+	for _, id := range comp {
+		compSize[id]++
+	}
+	// Collect, sort and report the edges inside multi-node components.
+	var cyclic []*loEdge
+	for _, e := range c.edges {
+		if comp[e.from] == comp[e.to] && compSize[comp[e.from]] > 1 {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		pi := cyclic[i].pass.Fset.Position(cyclic[i].pos)
+		pj := cyclic[j].pass.Fset.Position(cyclic[j].pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Offset != pj.Offset {
+			return pi.Offset < pj.Offset
+		}
+		return cyclic[i].to < cyclic[j].to
+	})
+	for _, e := range cyclic {
+		members := make([]string, 0, compSize[comp[e.from]])
+		for n, id := range comp {
+			if id == comp[e.from] {
+				members = append(members, c.display[n])
+			}
+		}
+		sort.Strings(members)
+		e.pass.Reportf(e.pos,
+			"acquiring %s while holding %s closes a lock-order cycle among {%s}: another path acquires these locks in the opposite order, so the two deadlock when they interleave — pick one global order",
+			e.toDisplay, e.fromDisplay, joinStrings(members, ", "))
+	}
+}
+
+func joinStrings(ss []string, sep string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += sep
+		}
+		out += s
+	}
+	return out
+}
+
+// loWalker threads the held-lock set lexically through one function,
+// mirroring the chanundermutex walker.
+type loWalker struct {
+	c    *loCollector
+	pass *Pass
+	info *loFuncInfo // nil inside function literals (not a named summary)
+}
+
+func cloneLoHeld(h map[string]loLockRef) map[string]loLockRef {
+	m := make(map[string]loLockRef, len(h))
+	for k, v := range h {
+		m[k] = v
+	}
+	return m
+}
+
+func (w *loWalker) block(b *ast.BlockStmt, held map[string]loLockRef) {
+	for _, s := range b.List {
+		w.stmt(s, held)
+	}
+}
+
+func (w *loWalker) stmt(s ast.Stmt, held map[string]loLockRef) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if w.lockOp(call, held) {
+				return
+			}
+		}
+		w.scan(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scan(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, held)
+		}
+	case *ast.SendStmt:
+		w.scan(s.Chan, held)
+		w.scan(s.Value, held)
+	case *ast.IncDecStmt:
+		w.scan(s.X, held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.scan(s.Cond, held)
+		w.stmt(s.Body, cloneLoHeld(held))
+		w.stmt(s.Else, cloneLoHeld(held))
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		w.scan(s.Cond, held)
+		body := cloneLoHeld(held)
+		w.stmt(s.Body, body)
+		w.stmt(s.Post, body)
+	case *ast.RangeStmt:
+		w.scan(s.X, held)
+		w.stmt(s.Body, cloneLoHeld(held))
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		w.scan(s.Tag, held)
+		w.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		w.clauses(s.Body, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the region held; any other deferred
+		// call runs at return, outside this lexical walk.
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under the spawner's
+		// locks: its literal body is a fresh root (via scan); a named
+		// callee gets no call-site edge. Arguments are evaluated
+		// synchronously, though.
+		w.scan(s.Call.Fun, held)
+		for _, a := range s.Call.Args {
+			w.scan(a, held)
+		}
+	default:
+	}
+}
+
+func (w *loWalker) clauses(body *ast.BlockStmt, held map[string]loLockRef) {
+	for _, cl := range body.List {
+		inner := cloneLoHeld(held)
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.scan(e, held)
+			}
+			for _, st := range cc.Body {
+				w.stmt(st, inner)
+			}
+		case *ast.CommClause:
+			w.stmt(cc.Comm, inner)
+			for _, st := range cc.Body {
+				w.stmt(st, inner)
+			}
+		}
+	}
+}
+
+// lockOp consumes a statement-level mutex operation, recording edges
+// for a Lock under held locks.
+func (w *loWalker) lockOp(call *ast.CallExpr, held map[string]loLockRef) bool {
+	v, op, base := mutexOpVar(w.pass.Info, call)
+	if op == "" {
+		return false
+	}
+	if v == nil {
+		return true // unnameable mutex: conservative and quiet
+	}
+	key, display := lockClass(w.pass, v, base)
+	switch op {
+	case "Lock", "RLock":
+		w.c.display[key] = display
+		for _, h := range held {
+			w.c.addEdge(h.key, key, h.display, display, w.pass, call.Pos())
+		}
+		held[key] = loLockRef{key: key, display: display, pos: call.Pos()}
+		if w.info != nil {
+			w.info.locks[key] = true
+		}
+	case "Unlock", "RUnlock":
+		delete(held, key)
+	}
+	return true
+}
+
+// scan records resolvable calls (call-site edges + summary calls) and
+// walks nested function literals as fresh roots.
+func (w *loWalker) scan(e ast.Expr, held map[string]loLockRef) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lw := &loWalker{c: w.c, pass: w.pass, info: nil}
+			lw.block(n.Body, map[string]loLockRef{})
+			return false
+		case *ast.CallExpr:
+			f := calleeFunc(w.pass.Info, n)
+			if f == nil {
+				return true
+			}
+			name := f.FullName()
+			if w.info != nil {
+				w.info.calls[name] = true
+			}
+			if len(held) > 0 {
+				site := loCallSite{callee: name, pass: w.pass, pos: n.Pos()}
+				for _, h := range held {
+					site.held = append(site.held, h)
+				}
+				sort.Slice(site.held, func(i, j int) bool { return site.held[i].key < site.held[j].key })
+				w.c.sites = append(w.c.sites, site)
+			}
+		}
+		return true
+	})
+}
+
+// lockClass canonicalises a mutex variable to a cross-package-stable
+// key. A struct field keys on its owning named type (the same field
+// seen from source in its own package and from export data in an
+// importer must agree); package-level mutexes key on package path and
+// name; locals key on their declaration position (never visible across
+// packages).
+func lockClass(pass *Pass, v *types.Var, base ast.Expr) (key, display string) {
+	if sel, ok := ast.Unparen(base).(*ast.SelectorExpr); ok {
+		if s := pass.Info.Selections[sel]; s != nil {
+			if named, ok := deref(s.Recv()).(*types.Named); ok {
+				obj := named.Obj()
+				pkgPath := ""
+				if obj.Pkg() != nil {
+					pkgPath = obj.Pkg().Path()
+				}
+				return pkgPath + "." + obj.Name() + "." + v.Name(), obj.Name() + "." + v.Name()
+			}
+		}
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name(), v.Pkg().Name() + "." + v.Name()
+	}
+	pkgPath := ""
+	if v.Pkg() != nil {
+		pkgPath = v.Pkg().Path()
+	}
+	if v.IsField() {
+		// Field reached without a selection (embedded access): fall
+		// back to package+name — coarser, still deterministic.
+		return pkgPath + ".field." + v.Name(), v.Name()
+	}
+	pos := pass.Fset.Position(v.Pos())
+	return fmt.Sprintf("%s.local.%s@%s:%d", pkgPath, v.Name(), pos.Filename, pos.Line), v.Name()
+}

@@ -32,3 +32,33 @@ func TestPassiveMetrics(t *testing.T) {
 		"passivemetrics/internal/server",
 	)
 }
+
+func TestFrameRelease(t *testing.T) {
+	analysistest.Run(t, analysis.FrameRelease,
+		"framerelease/internal/server",
+		"framerelease/internal/router",
+	)
+}
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, analysis.SpanEnd, "spanend/internal/client")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflow/internal/server")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "atomicmix/internal/router")
+}
+
+// TestLockOrder loads the two leaf packages together with the shared
+// core so the suite sees the whole graph: each leaf alone is
+// cycle-free, and only the cross-package union closes the A/B cycle.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder,
+		"lockorder/internal/core",
+		"lockorder/internal/server",
+		"lockorder/internal/cluster",
+	)
+}

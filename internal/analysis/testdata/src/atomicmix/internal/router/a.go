@@ -1,0 +1,43 @@
+// Package router is atomicmix golden testdata: a variable whose
+// address ever reaches a function-style sync/atomic call must never be
+// read or written plainly again.
+package router
+
+import "sync/atomic"
+
+type backend struct {
+	inflight uint64
+	ejected  uint32
+}
+
+// acquire and release stick to the atomic accessors — legal.
+func (b *backend) acquire() {
+	atomic.AddUint64(&b.inflight, 1)
+}
+
+func (b *backend) release() {
+	atomic.AddUint64(&b.inflight, ^uint64(0))
+}
+
+// snapshot reads the counter bare: tears on 32-bit platforms and races
+// everywhere.
+func (b *backend) snapshot() uint64 {
+	return b.inflight // want `inflight is accessed with sync/atomic\.AddUint64 \(line \d+\) but read or written plainly`
+}
+
+// reset mixes a plain write with the CompareAndSwap side.
+func (b *backend) reset() {
+	if atomic.CompareAndSwapUint32(&b.ejected, 0, 1) {
+		return
+	}
+	b.ejected = 0 // want `ejected is accessed with sync/atomic\.CompareAndSwapUint32 \(line \d+\) but read or written plainly`
+}
+
+// newBackend initialises before the value is shared: provably
+// single-threaded, so the justified directive is honoured.
+func newBackend() *backend {
+	b := &backend{}
+	//lint:allow atomicmix constructor runs before the backend is shared
+	b.inflight = 0
+	return b
+}

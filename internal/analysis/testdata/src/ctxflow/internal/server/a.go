@@ -1,0 +1,59 @@
+// Package server is ctxflow golden testdata: a function that receives
+// a context.Context must propagate it — no fresh root contexts below an
+// entry point, no nil contexts anywhere.
+package server
+
+import "context"
+
+func do(ctx context.Context, fn uint16) error { return nil }
+
+// handle receives a context and mints a root anyway.
+func handle(ctx context.Context) error {
+	fresh := context.Background() // want `context\.Background\(\) inside handle, which receives a context\.Context`
+	return do(fresh, 1)
+}
+
+// handleAsync shows closures inheriting the enclosing obligation.
+func handleAsync(ctx context.Context) {
+	go func() {
+		c := context.TODO() // want `context\.TODO\(\) inside handleAsync`
+		_ = c
+	}()
+}
+
+type mux struct{}
+
+// route shows methods named Type.method in the message.
+func (m *mux) route(ctx context.Context) error {
+	return do(context.Background(), 2) // want `context\.Background\(\) inside mux\.route`
+}
+
+// passNil would panic in the stdlib before any deadline could apply.
+func passNil() error {
+	return do(nil, 3) // want `nil passed as the context\.Context argument of do`
+}
+
+// accept is a true entry point: no context parameter, roots are free.
+func accept() error {
+	return do(context.Background(), 4)
+}
+
+// propagate is the required shape.
+func propagate(ctx context.Context) error {
+	return do(ctx, 5)
+}
+
+// detach deliberately outlives the request; the justified directive
+// suppresses the report and therefore is not stale.
+func detach(ctx context.Context) {
+	//lint:allow ctxflow cleanup must survive request cancellation
+	cleanup := context.Background()
+	_ = cleanup
+}
+
+// tidy carries a directive that suppresses nothing: the directive
+// itself is the finding.
+func tidy(ctx context.Context) error {
+	//lint:allow ctxflow nothing left to excuse // want `stale directive: //lint:allow ctxflow suppresses no ctxflow diagnostic`
+	return do(ctx, 6)
+}

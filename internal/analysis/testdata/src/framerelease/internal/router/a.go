@@ -1,0 +1,35 @@
+// Package router is framerelease golden testdata outside the hard
+// zone: findings are still reported, but a justified
+// //lint:allow framerelease is honoured here.
+package router
+
+import (
+	"io"
+
+	"agilefpga/internal/wire"
+)
+
+// drop leaks without a directive: reported even in the soft zone.
+func drop(r io.Reader) error {
+	var resp wire.Response
+	fr, err := wire.ReadResponseFrame(r, &resp) // want `frame fr from wire\.ReadResponseFrame is not released before the return at line \d+`
+	if err != nil {
+		return err
+	}
+	_ = fr
+	return nil
+}
+
+// capture carries a justified suppression: the eviction path releases
+// the frame out of band, which the lexical walker cannot see. The
+// directive suppresses the leak report and therefore is not stale.
+func capture(r io.Reader) error {
+	var resp wire.Response
+	//lint:allow framerelease the eviction path releases the captured frame out of band
+	fr, err := wire.ReadResponseFrame(r, &resp)
+	if err != nil {
+		return err
+	}
+	_ = fr
+	return nil
+}

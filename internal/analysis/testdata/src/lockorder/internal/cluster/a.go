@@ -1,0 +1,51 @@
+// Package cluster is lockorder golden testdata: the B-then-A half of
+// the cross-package cycle, plus an intra-package opposite-order pair
+// excused by //lint:allow lockorder.
+package cluster
+
+import (
+	"sync"
+
+	"agilefpga/internal/analysis/testdata/src/lockorder/internal/core"
+)
+
+// Drain holds B across a call whose footprint takes A.
+func Drain(p *core.Pair) {
+	p.B.Lock()
+	p.BumpA() // want `acquiring Pair\.A while holding Pair\.B closes a lock-order cycle among \{Pair\.A, Pair\.B\}`
+	p.B.Unlock()
+}
+
+// Sweep matches server.Registered's Registry.Mu → Pair.A order.
+func Sweep(reg *core.Registry, p *core.Pair) {
+	reg.Mu.Lock()
+	p.BumpA()
+	reg.Mu.Unlock()
+}
+
+// shard's two internal locks are taken in both orders, but every call
+// site runs under an external serialisation the analyzer cannot see,
+// so both acquisition sites carry a justified suppression.
+type shard struct {
+	c sync.Mutex
+	d sync.Mutex
+	n int
+}
+
+func (s *shard) lockCD() {
+	s.c.Lock()
+	//lint:allow lockorder callers serialise shards on the balancer token
+	s.d.Lock()
+	s.n++
+	s.d.Unlock()
+	s.c.Unlock()
+}
+
+func (s *shard) lockDC() {
+	s.d.Lock()
+	//lint:allow lockorder callers serialise shards on the balancer token
+	s.c.Lock()
+	s.n++
+	s.c.Unlock()
+	s.d.Unlock()
+}

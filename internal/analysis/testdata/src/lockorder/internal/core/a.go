@@ -1,0 +1,35 @@
+// Package core is shared lockorder golden testdata: Pair carries the
+// two mutexes whose acquisition order internal/server and
+// internal/cluster disagree about, closing a cycle neither package can
+// see alone.
+package core
+
+import "sync"
+
+// Pair is a two-lock state block shared across packages.
+type Pair struct {
+	A sync.Mutex
+	B sync.Mutex
+	n int
+}
+
+// BumpA mutates under A alone.
+func (p *Pair) BumpA() {
+	p.A.Lock()
+	p.n++
+	p.A.Unlock()
+}
+
+// BumpB mutates under B alone.
+func (p *Pair) BumpB() {
+	p.B.Lock()
+	p.n++
+	p.B.Unlock()
+}
+
+// Registry is a lock both sides acquire before Pair.A in the same
+// order — that shared edge stays out of any cycle.
+type Registry struct {
+	Mu sync.Mutex
+	N  int
+}

@@ -1,0 +1,21 @@
+// Package server is lockorder golden testdata: it acquires Pair.A and
+// then, through core.BumpB's lock footprint, Pair.B — the opposite
+// order from internal/cluster, closing a cross-package cycle.
+package server
+
+import "agilefpga/internal/analysis/testdata/src/lockorder/internal/core"
+
+// Serve holds A across a call whose footprint takes B.
+func Serve(p *core.Pair) {
+	p.A.Lock()
+	p.BumpB() // want `acquiring Pair\.B while holding Pair\.A closes a lock-order cycle among \{Pair\.A, Pair\.B\}`
+	p.A.Unlock()
+}
+
+// Registered takes Registry.Mu then Pair.A — the same order
+// cluster.Sweep uses, so the shared edge is benign and unreported.
+func Registered(reg *core.Registry, p *core.Pair) {
+	reg.Mu.Lock()
+	p.BumpA()
+	reg.Mu.Unlock()
+}

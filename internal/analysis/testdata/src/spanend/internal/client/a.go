@@ -1,0 +1,84 @@
+// Package client is spanend golden testdata: every SpanRef returned by
+// Tracer.StartRoot/StartRemote/StartChild must reach Tracer.End on all
+// return paths. Zero SpanRefs are no-ops and stay exempt.
+package client
+
+import (
+	"errors"
+
+	"agilefpga/internal/trace"
+)
+
+var errBusy = errors.New("busy")
+
+func work() {}
+
+// good ends its span on the one return path.
+func good(t *trace.Tracer) {
+	ref := t.StartRoot("call", "client", 1)
+	work()
+	t.End(ref, "ok")
+}
+
+// goodDefer pins End to function exit — the canonical shape.
+func goodDefer(t *trace.Tracer) {
+	ref := t.StartRoot("call", "client", 1)
+	defer t.End(ref, "ok")
+	work()
+}
+
+// leakOnReturn skips End on the early-out path.
+func leakOnReturn(t *trace.Tracer, busy bool) error {
+	ref := t.StartRoot("call", "client", 1) // want `span ref ref from Tracer\.StartRoot is not ended before the return at line \d+`
+	if busy {
+		return errBusy
+	}
+	t.End(ref, "ok")
+	return nil
+}
+
+// leakChild ends the root but drops the child; passing the parent ref
+// to StartChild is a use, not a transfer.
+func leakChild(t *trace.Tracer) {
+	root := t.StartRoot("op", "client", 1)
+	child := t.StartChild(root, "attempt", "client", 1) // want `span ref child from Tracer\.StartChild is not ended on every path`
+	_ = child
+	t.End(root, "ok")
+}
+
+// doubleEnd would record the span twice.
+func doubleEnd(t *trace.Tracer) {
+	ref := t.StartRemote(7, 9, true, "rpc", "server", 2)
+	work()
+	t.End(ref, "ok")
+	t.End(ref, "error") // want `span ref ref passed to Tracer\.End twice`
+}
+
+// discard can never be ended.
+func discard(t *trace.Tracer) {
+	t.StartRoot("orphan", "client", 1) // want `result of Tracer\.StartRoot is discarded`
+	work()
+}
+
+// zeroRef: the zero SpanRef makes End a no-op — legal and untracked.
+func zeroRef(t *trace.Tracer) {
+	var ref trace.SpanRef
+	work()
+	t.End(ref, "ok")
+}
+
+// handoff returns the ref: End duty transfers to the caller.
+func handoff(t *trace.Tracer) trace.SpanRef {
+	ref := t.StartRoot("op", "client", 1)
+	work()
+	return ref
+}
+
+// background keeps a deliberate long-lived span open; the justified
+// directive suppresses the leak report and therefore is not stale.
+func background(t *trace.Tracer) {
+	//lint:allow spanend the shutdown hook ends the session span
+	ref := t.StartRoot("session", "client", 1)
+	work()
+	_ = ref
+}

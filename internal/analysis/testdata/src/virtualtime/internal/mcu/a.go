@@ -1,6 +1,8 @@
 // Package mcu is virtualtime golden testdata for a simulation-domain
-// package: every wall-clock read is a hard diagnostic, and the
-// //lint:wallclock directive must NOT be able to silence it.
+// package: every wall-clock read is a hard diagnostic, the
+// //lint:wallclock directive must NOT be able to silence it — and a
+// directive that consequently suppresses nothing is itself reported
+// stale.
 package mcu
 
 import (
@@ -15,7 +17,7 @@ func configure() time.Duration {
 }
 
 func cheat() time.Time {
-	return time.Now() //lint:wallclock directives cannot override the sim domain // want `//lint:wallclock cannot override this here`
+	return time.Now() //lint:wallclock directives cannot override the sim domain // want `//lint:wallclock cannot override this here` `stale directive: //lint:wallclock suppresses no virtualtime diagnostic`
 }
 
 func jitter() int {

@@ -28,21 +28,26 @@ var simDomainPackages = map[string]bool{
 	"algos":     true,
 }
 
-// inSimDomain classifies an import path. The rule keys on the last
-// "/internal/" segment so both the real tree ("agilefpga/internal/mcu")
-// and analyzer testdata (".../testdata/src/virtualtime/internal/mcu")
-// classify identically.
-func inSimDomain(pkgPath string) bool {
+// internalElem extracts the path below the last "/internal/" marker
+// ("" when the package is not under an internal tree). Analyzers key
+// package classification on this so both the real tree
+// ("agilefpga/internal/mcu") and analyzer testdata
+// (".../testdata/src/virtualtime/internal/mcu") classify identically.
+func internalElem(pkgPath string) string {
 	const marker = "/internal/"
-	rest := pkgPath
 	if i := strings.LastIndex(pkgPath, marker); i >= 0 {
-		rest = pkgPath[i+len(marker):]
-	} else if after, ok := strings.CutPrefix(pkgPath, "internal/"); ok {
-		rest = after
-	} else {
-		return false
+		return pkgPath[i+len(marker):]
 	}
-	return simDomainPackages[rest]
+	if after, ok := strings.CutPrefix(pkgPath, "internal/"); ok {
+		return after
+	}
+	return ""
+}
+
+// inSimDomain classifies an import path into or out of the hard
+// virtual-time zone.
+func inSimDomain(pkgPath string) bool {
+	return simDomainPackages[internalElem(pkgPath)]
 }
 
 // wallClockFuncs are the package time functions that read or schedule

@@ -210,6 +210,9 @@ func TestRouterSpill(t *testing.T) {
 // traffic retries onto survivors after ejection), and when the node
 // returns the probe loop reinstates it.
 func TestRouterKillFailoverAndReinstate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("polls real probe timers; skipped in -short mode")
+	}
 	f := newFleet(t, 3, 1)
 	r, _ := newTestRouter(t, f, router.Options{
 		ProbeBase: 10 * time.Millisecond, ProbeMax: 100 * time.Millisecond,

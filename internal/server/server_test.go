@@ -295,6 +295,9 @@ func TestGracefulDrain(t *testing.T) {
 }
 
 func TestDeadlineExceeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depends on wall-clock stalls and budgets; skipped in -short mode")
+	}
 	// The hook stalls request 77 past its budget after admission, so the
 	// server-side deadline path triggers deterministically.
 	h := newHarness(t, 1, Options{}, func(req *wire.Request) {
