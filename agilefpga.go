@@ -163,6 +163,13 @@ type Stats struct {
 	PipeWindows      uint64
 	PipeStall        time.Duration
 	PipeOverlapSaved time.Duration
+	// ChainRuns, ChainStages and ChainHandoffBytes report on-fabric
+	// function chaining: chained invocations served, stages they ran,
+	// and intermediate bytes handed between stages through local RAM
+	// instead of crossing PCI.
+	ChainRuns         uint64
+	ChainStages       uint64
+	ChainHandoffBytes uint64
 }
 
 // BatchResult reports a pipelined batch of calls (see CallBatch).
@@ -321,16 +328,19 @@ func (cp *CoProcessor) Stats() Stats {
 		Requests: st.Requests, Hits: st.Hits, Misses: st.Misses,
 		Evictions: st.Evictions, FramesLoaded: st.FramesLoaded,
 		RawConfigBytes: st.RawConfigBytes, CompConfigBytes: st.CompConfigBytes,
-		HitRate:          hr,
-		FramesSkipped:    st.FramesSkipped,
-		Prefetches:       st.Prefetches,
-		PrefetchHits:     st.PrefetchHits,
-		DecompCacheHits:  st.DecompCacheHits,
-		DecompCacheBytes: st.DecompCacheBytes,
-		PipelinedLoads:   st.PipelinedLoads,
-		PipeWindows:      st.PipeWindows,
-		PipeStall:        st.PipeStallTime.Duration(),
-		PipeOverlapSaved: st.PipeOverlapSaved.Duration(),
+		HitRate:           hr,
+		FramesSkipped:     st.FramesSkipped,
+		Prefetches:        st.Prefetches,
+		PrefetchHits:      st.PrefetchHits,
+		DecompCacheHits:   st.DecompCacheHits,
+		DecompCacheBytes:  st.DecompCacheBytes,
+		PipelinedLoads:    st.PipelinedLoads,
+		PipeWindows:       st.PipeWindows,
+		PipeStall:         st.PipeStallTime.Duration(),
+		PipeOverlapSaved:  st.PipeOverlapSaved.Duration(),
+		ChainRuns:         st.ChainRuns,
+		ChainStages:       st.ChainStages,
+		ChainHandoffBytes: st.ChainHandoffBytes,
 	}
 }
 

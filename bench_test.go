@@ -231,6 +231,33 @@ func BenchmarkE18_PipelinedColdLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkE20_Chaining compares on-fabric function chaining (DESIGN
+// §15) against per-stage staged calls, warm. The acceptance bar: the
+// chained batch beats the two-pass staged CallBatch ceiling and the
+// per-item chain beats the staged sum for both reference chains.
+func BenchmarkE20_Chaining(b *testing.B) {
+	var last *exp.E20Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunE20(16, 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if !last.Identical {
+		b.Fatal("chained outputs diverged from staged outputs")
+	}
+	for _, chain := range []string{"sha256->aes128", "fir16->fft64"} {
+		itemX := float64(last.StagedLatency[chain]) / float64(last.ChainLatency[chain])
+		batchX := float64(last.StagedBatch[chain]) / float64(last.ChainBatch[chain])
+		b.ReportMetric(itemX, chain+"-x")
+		b.ReportMetric(batchX, chain+"-batch-x")
+		if itemX <= 1 || batchX <= 1 {
+			b.Fatalf("%s: chaining did not win (item %.2fx, batch %.2fx)", chain, itemX, batchX)
+		}
+	}
+}
+
 // BenchmarkE11_ClusterThroughput compares the serial replicate
 // dispatcher against the async serving layer (4 cards, 4 submitters,
 // affinity routing + decoded-frame cache) on the same mixed Zipf

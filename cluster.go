@@ -158,16 +158,19 @@ func (cl *Cluster) Stats() ClusterStats {
 			Requests: st.Total.Requests, Hits: st.Total.Hits, Misses: st.Total.Misses,
 			Evictions: st.Total.Evictions, FramesLoaded: st.Total.FramesLoaded,
 			RawConfigBytes: st.Total.RawConfigBytes, CompConfigBytes: st.Total.CompConfigBytes,
-			HitRate:          st.HitRate,
-			FramesSkipped:    st.Total.FramesSkipped,
-			Prefetches:       st.Total.Prefetches,
-			PrefetchHits:     st.Total.PrefetchHits,
-			DecompCacheHits:  st.Total.DecompCacheHits,
-			DecompCacheBytes: st.Total.DecompCacheBytes,
-			PipelinedLoads:   st.Total.PipelinedLoads,
-			PipeWindows:      st.Total.PipeWindows,
-			PipeStall:        st.Total.PipeStallTime.Duration(),
-			PipeOverlapSaved: st.Total.PipeOverlapSaved.Duration(),
+			HitRate:           st.HitRate,
+			FramesSkipped:     st.Total.FramesSkipped,
+			Prefetches:        st.Total.Prefetches,
+			PrefetchHits:      st.Total.PrefetchHits,
+			DecompCacheHits:   st.Total.DecompCacheHits,
+			DecompCacheBytes:  st.Total.DecompCacheBytes,
+			PipelinedLoads:    st.Total.PipelinedLoads,
+			PipeWindows:       st.Total.PipeWindows,
+			PipeStall:         st.Total.PipeStallTime.Duration(),
+			PipeOverlapSaved:  st.Total.PipeOverlapSaved.Duration(),
+			ChainRuns:         st.Total.ChainRuns,
+			ChainStages:       st.Total.ChainStages,
+			ChainHandoffBytes: st.Total.ChainHandoffBytes,
 		},
 		PerCardRequests: st.PerCardRequests,
 	}

@@ -1,6 +1,6 @@
 // agilebench regenerates the experiment tables of EXPERIMENTS.md: every
 // table and series the paper's evaluation implies plus the extension
-// studies (DESIGN.md §6, E1–E19 and E23).
+// studies (DESIGN.md §6, E1–E20 and E23).
 //
 // Usage:
 //
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"agilefpga/internal/exp"
@@ -51,6 +52,22 @@ type phaseLatency struct {
 	Count uint64 `json:"count"`
 }
 
+// chainPoint is one reference chain's outcome in the E20 comparison:
+// warm per-item virtual latency and PCI share for the staged (one Call
+// per stage) and chained (one CallChain) arms, plus the whole-set batch
+// completion both ways. Durations are virtual nanoseconds.
+type chainPoint struct {
+	Chain         string  `json:"chain"`
+	StagedItemNs  int64   `json:"staged_item_ns"`
+	ChainItemNs   int64   `json:"chain_item_ns"`
+	ItemSpeedup   float64 `json:"item_speedup"`
+	StagedPCINs   int64   `json:"staged_pci_ns"`
+	ChainPCINs    int64   `json:"chain_pci_ns"`
+	StagedBatchNs int64   `json:"staged_batch_ns"`
+	ChainBatchNs  int64   `json:"chain_batch_ns"`
+	BatchSpeedup  float64 `json:"batch_speedup"`
+}
+
 // benchFile is the schema of BENCH.json: per-experiment wall-clock cost
 // plus the headline throughput numbers, so the perf trajectory is
 // trackable across changes.
@@ -77,6 +94,11 @@ type benchFile struct {
 		BatchWindows      uint64  `json:"batch_windows"`
 		BatchedJobs       uint64  `json:"batched_jobs"`
 	} `json:"net_path"`
+	Chain struct {
+		Items     int          `json:"items"`
+		ItemBytes int          `json:"item_bytes"`
+		Chains    []chainPoint `json:"chains"`
+	} `json:"chain"`
 	Fleet struct {
 		Requests           int          `json:"requests"`
 		Concurrency        int          `json:"concurrency"`
@@ -143,6 +165,31 @@ func writeJSON(exps []exp.Experiment, path string) error {
 	out.NetPath.Speedup = np.Speedup
 	out.NetPath.BatchWindows = np.BatchWindows
 	out.NetPath.BatchedJobs = np.BatchedJobs
+	const chainItems, chainItemBytes = 16, 2048
+	ch, err := exp.RunE20(chainItems, chainItemBytes)
+	if err != nil {
+		return fmt.Errorf("e20 chaining: %w", err)
+	}
+	out.Chain.Items = chainItems
+	out.Chain.ItemBytes = chainItemBytes
+	labels := make([]string, 0, len(ch.StagedLatency))
+	for label := range ch.StagedLatency {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		out.Chain.Chains = append(out.Chain.Chains, chainPoint{
+			Chain:         label,
+			StagedItemNs:  ch.StagedLatency[label].Duration().Nanoseconds(),
+			ChainItemNs:   ch.ChainLatency[label].Duration().Nanoseconds(),
+			ItemSpeedup:   float64(ch.StagedLatency[label]) / float64(ch.ChainLatency[label]),
+			StagedPCINs:   ch.StagedPCI[label].Duration().Nanoseconds(),
+			ChainPCINs:    ch.ChainPCI[label].Duration().Nanoseconds(),
+			StagedBatchNs: ch.StagedBatch[label].Duration().Nanoseconds(),
+			ChainBatchNs:  ch.ChainBatch[label].Duration().Nanoseconds(),
+			BatchSpeedup:  float64(ch.StagedBatch[label]) / float64(ch.ChainBatch[label]),
+		})
+	}
 	fl, err := exp.RunE19(0, 0, nil)
 	if err != nil {
 		return fmt.Errorf("e19 fleet: %w", err)

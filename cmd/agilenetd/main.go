@@ -16,6 +16,12 @@
 // the client library:
 //
 //	agilenetd -call crc32 -addr :7600 -requests 100 -payload 64
+//
+// -chain runs a comma-separated stage list as one on-card dataflow
+// chain per request — the payload crosses the wire and the card's PCI
+// link once, intermediates stay in card RAM:
+//
+//	agilenetd -chain sha256,aes128 -addr :7600 -requests 100 -payload 256
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -63,14 +70,22 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 
 	call := flag.String("call", "", "client mode: function name to call against -addr")
+	chain := flag.String("chain", "", "client mode: comma-separated function names to run as one on-card chain against -addr")
 	requests := flag.Int("requests", 10, "client mode: number of requests")
 	payload := flag.Int("payload", 64, "client mode: payload bytes per request")
 	timeout := flag.Duration("timeout", 5*time.Second, "client mode: per-request deadline")
 	concurrency := flag.Int("concurrency", 1, "client mode: concurrent in-flight requests (pipelined over the multiplexed pool)")
 	flag.Parse()
 
-	if *call != "" {
-		runClient(*addr, *call, *requests, *payload, *concurrency, *timeout, *traceSample)
+	if *call != "" && *chain != "" {
+		log.Fatal("-call and -chain are mutually exclusive")
+	}
+	if *call != "" || *chain != "" {
+		var stages []string
+		if *chain != "" {
+			stages = strings.Split(*chain, ",")
+		}
+		runClient(*addr, *call, stages, *requests, *payload, *concurrency, *timeout, *traceSample)
 		return
 	}
 
@@ -187,12 +202,13 @@ func main() {
 	log.Printf("drained; bye")
 }
 
-// runClient is the -call mode: a burst of requests through the public
-// client API, with retries on overload. With -concurrency > 1 the
-// burst pipelines over the client's multiplexed connection pool. A
-// non-zero traceSample traces the burst: sampled calls ship their
-// trace context on the wire so a tracing daemon joins the same traces.
-func runClient(addr, fn string, requests, payload, concurrency int, timeout time.Duration, traceSample float64) {
+// runClient is the -call/-chain mode: a burst of requests through the
+// public client API, with retries on overload. With -concurrency > 1
+// the burst pipelines over the client's multiplexed connection pool;
+// with a stage list each request is one chained call. A non-zero
+// traceSample traces the burst: sampled calls ship their trace context
+// on the wire so a tracing daemon joins the same traces.
+func runClient(addr, fn string, stages []string, requests, payload, concurrency int, timeout time.Duration, traceSample float64) {
 	var tracer *agilefpga.Tracer
 	if traceSample > 0 {
 		tracer = agilefpga.NewTracer(agilefpga.TracerOptions{Sample: traceSample})
@@ -223,7 +239,14 @@ func runClient(addr, fn string, requests, payload, concurrency int, timeout time
 			defer wg.Done()
 			defer func() { <-sem }()
 			ctx, cancel := context.WithTimeout(context.Background(), timeout)
-			out, card, err := c.Call(ctx, fn, in)
+			var out []byte
+			var card int
+			var err error
+			if stages != nil {
+				out, card, err = c.CallChain(ctx, stages, in)
+			} else {
+				out, card, err = c.Call(ctx, fn, in)
+			}
 			cancel()
 			if err != nil {
 				log.Fatalf("request %d: %v", i, err)
@@ -239,7 +262,11 @@ func runClient(addr, fn string, requests, payload, concurrency int, timeout time
 	}
 	wg.Wait()
 	elapsed := time.Since(start) //lint:wallclock client-mode smoke test measures real request latency
+	label := fn
+	if stages != nil {
+		label = strings.Join(stages, "->")
+	}
 	fmt.Printf("%d × %s ok (%d in flight): %d B in/req, %d B out total, %.1f req/s, cards %v\n",
-		requests, fn, concurrency, payload, bytesOut,
+		requests, label, concurrency, payload, bytesOut,
 		float64(requests)/elapsed.Seconds(), cardSeen)
 }

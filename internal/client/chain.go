@@ -1,0 +1,35 @@
+package client
+
+import (
+	"context"
+
+	"agilefpga/internal/trace"
+)
+
+// CallChain runs the stage list over payload as one on-card dataflow
+// chain on the server, returning the final stage's output and the
+// serving card. The request ships as a single chain frame — the input
+// crosses the network and the card's PCI link once, every intermediate
+// result stays in card RAM — and the answer is an ordinary response
+// frame. Deadlines, retries and backoff behave exactly as in Call (a
+// chain is a pure function of its payload, so retrying is safe).
+func (c *Client) CallChain(ctx context.Context, stages []uint16, payload []byte) ([]byte, int, error) {
+	var fn uint16
+	if len(stages) > 0 {
+		fn = stages[0]
+	}
+	ref := c.opts.Tracer.StartRoot("chain", "client", fn)
+	out, card, err := c.call(ctx, fn, stages, payload, ref)
+	c.opts.Tracer.End(ref, spanStatus(err))
+	return out, card, err
+}
+
+// CallChainRef is CallChain under a caller-owned parent span — the
+// proxy-hop shape, like CallRef.
+func (c *Client) CallChainRef(ctx context.Context, stages []uint16, payload []byte, parent trace.SpanRef) ([]byte, int, error) {
+	var fn uint16
+	if len(stages) > 0 {
+		fn = stages[0]
+	}
+	return c.call(ctx, fn, stages, payload, parent)
+}

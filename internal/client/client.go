@@ -344,7 +344,7 @@ func (c *Client) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, i
 	// sampled-out decision) yields zero refs and every span call below
 	// is a no-op — the untraced path allocates nothing.
 	ref := c.opts.Tracer.StartRoot("call", "client", fn)
-	out, card, err := c.call(ctx, fn, payload, ref)
+	out, card, err := c.call(ctx, fn, nil, payload, ref)
 	c.opts.Tracer.End(ref, spanStatus(err))
 	return out, card, err
 }
@@ -356,7 +356,7 @@ func (c *Client) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, i
 // context unchanged, so context still propagates through a hop that
 // records nothing itself.
 func (c *Client) CallRef(ctx context.Context, fn uint16, payload []byte, parent trace.SpanRef) ([]byte, int, error) {
-	return c.call(ctx, fn, payload, parent)
+	return c.call(ctx, fn, nil, payload, parent)
 }
 
 // Inflight reports the calls currently in flight across the pool —
@@ -373,8 +373,10 @@ func (c *Client) Inflight() int {
 	return int(n)
 }
 
-// call is the retry loop behind Call.
-func (c *Client) call(ctx context.Context, fn uint16, payload []byte, ref trace.SpanRef) ([]byte, int, error) {
+// call is the retry loop behind Call and CallChain. A non-nil stages
+// list ships the attempt as a chain frame instead of a plain request;
+// fn is then stage 0, kept for span labels.
+func (c *Client) call(ctx context.Context, fn uint16, stages []uint16, payload []byte, ref trace.SpanRef) ([]byte, int, error) {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, -1, err
@@ -386,7 +388,7 @@ func (c *Client) call(ctx context.Context, fn uint16, payload []byte, ref trace.
 			// context so an upstream trace survives the forward.
 			wref = ref
 		}
-		out, card, err := c.once(ctx, fn, payload, wref)
+		out, card, err := c.once(ctx, fn, stages, payload, wref)
 		c.opts.Tracer.End(aref, spanStatus(err))
 		if err == nil {
 			return out, card, nil
@@ -425,8 +427,10 @@ func spanStatus(err error) string {
 
 // once is a single attempt, pipelined onto one multiplexed connection.
 // A valid aref ships as the request's wire trace context, so the
-// server's spans join this attempt's trace.
-func (c *Client) once(ctx context.Context, fn uint16, payload []byte, aref trace.SpanRef) ([]byte, int, error) {
+// server's spans join this attempt's trace. A non-nil stages list sends
+// a chain frame; plain and chain attempts share the pool, the id space
+// and the demultiplexer (responses are ordinary response frames).
+func (c *Client) once(ctx context.Context, fn uint16, stages []uint16, payload []byte, aref trace.SpanRef) ([]byte, int, error) {
 	m, err := c.pick()
 	if err != nil {
 		return nil, -1, err
@@ -450,9 +454,9 @@ func (c *Client) once(ctx context.Context, fn uint16, payload []byte, aref trace
 		m.inflight.Add(-1)
 		c.gauges[m.slot].Dec()
 	}()
-	req := &wire.Request{ID: id, Fn: fn, Deadline: budget, Payload: payload}
+	var tc wire.TraceContext
 	if aref.Valid() {
-		req.Trace = wire.TraceContext{TraceID: aref.TraceID, SpanID: aref.SpanID, Flags: wire.FlagSampled}
+		tc = wire.TraceContext{TraceID: aref.TraceID, SpanID: aref.SpanID, Flags: wire.FlagSampled}
 	}
 	m.wmu.Lock()
 	if hasDL {
@@ -460,7 +464,12 @@ func (c *Client) once(ctx context.Context, fn uint16, payload []byte, aref trace
 	} else {
 		m.c.SetWriteDeadline(time.Time{})
 	}
-	werr := wire.WriteRequest(m.c, req)
+	var werr error
+	if stages != nil {
+		werr = wire.WriteChainRequest(m.c, &wire.ChainRequest{ID: id, Stages: stages, Deadline: budget, Payload: payload, Trace: tc})
+	} else {
+		werr = wire.WriteRequest(m.c, &wire.Request{ID: id, Fn: fn, Deadline: budget, Payload: payload, Trace: tc})
+	}
 	m.wmu.Unlock()
 	if werr != nil {
 		m.unregister(id)

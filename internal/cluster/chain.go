@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"agilefpga/internal/core"
+	"agilefpga/internal/trace"
+)
+
+// Chain dispatch (DESIGN §15). A chain rides the card queues as ONE
+// entry: one routing decision, one queue slot, one card run for all of
+// its stages. Routing must co-locate the whole stage list on a card
+// that carries every stage, and the affinity mode pins by the chain —
+// the stage list, not any single function — so repeated chains land on
+// the card already holding all stages resident.
+
+// ErrChainSplit reports a chain whose stages are partitioned across
+// different home cards: a partition-mode cluster cannot run it as one
+// on-card dataflow (the stages never co-reside).
+var ErrChainSplit = errors.New("cluster: chain stages partitioned across different cards")
+
+// stagesKey renders a stage list as a map key for chain affinity.
+func stagesKey(fns []uint16) string {
+	b := make([]byte, 0, 2*len(fns))
+	for _, fn := range fns {
+		b = append(b, byte(fn>>8), byte(fn))
+	}
+	return string(b)
+}
+
+// sameStages reports whether two submissions name the same chain (both
+// nil for plain calls).
+func sameStages(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// routeChain picks the card to serve a whole chain, applying the mode's
+// policy to the stage list as a unit.
+func (cl *Cluster) routeChain(fns []uint16) (int, error) {
+	if len(fns) == 0 {
+		return -1, fmt.Errorf("%w: empty chain", ErrUnknownFunction)
+	}
+	home := -1
+	for i, fn := range fns {
+		h, ok := cl.home[fn]
+		if !ok {
+			return -1, fmt.Errorf("%w: id %d (chain stage %d)", ErrUnknownFunction, fn, i)
+		}
+		if h >= 0 { // partition: every stage must share one home
+			if home >= 0 && h != home {
+				return -1, fmt.Errorf("%w: stage %d on card %d, earlier stages on card %d",
+					ErrChainSplit, i, h, home)
+			}
+			home = h
+		}
+	}
+	if home >= 0 {
+		return home, nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.mode == ModeAffinity {
+		key := stagesKey(fns)
+		if card, ok := cl.chainAffinity[key]; ok {
+			return card, nil
+		}
+		// First sight of this chain: pin it to the card with the least
+		// pinned frame demand, charging the demand of the chain's
+		// distinct stages (they will all be resident at once).
+		best := 0
+		for c := 1; c < len(cl.load); c++ {
+			if cl.load[c] < cl.load[best] {
+				best = c
+			}
+		}
+		cl.chainAffinity[key] = best
+		seen := make(map[uint16]bool, len(fns))
+		for _, fn := range fns {
+			if !seen[fn] {
+				seen[fn] = true
+				cl.load[best] += cl.demand[fn]
+			}
+		}
+		return best, nil
+	}
+	card := cl.rr
+	cl.rr = (cl.rr + 1) % len(cl.cards)
+	return card, nil
+}
+
+// CallChain routes one chained request, returning the result and the
+// serving card. Safe for concurrent use, like Call.
+func (cl *Cluster) CallChain(fns []uint16, input []byte) (*core.ChainResult, int, error) {
+	card, err := cl.routeChain(fns)
+	if err != nil {
+		return nil, -1, err
+	}
+	res, err := cl.cards[card].CallChainID(fns, input)
+	return res, card, err
+}
+
+// ChainAffinity reports the card the affinity router has pinned a chain
+// to, or -1 if the chain has not been routed yet (or the mode keeps no
+// pins).
+func (cl *Cluster) ChainAffinity(fns []uint16) int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if c, ok := cl.chainAffinity[stagesKey(fns)]; ok {
+		return c
+	}
+	return -1
+}
+
+// SubmitChain enqueues one chained request on its routed card's bounded
+// queue and returns immediately; the chain occupies one queue slot.
+// Failures surface through Wait, like Submit.
+func (cl *Cluster) SubmitChain(fns []uint16, input []byte) *Pending {
+	return cl.SubmitChainContext(context.Background(), fns, input, true)
+}
+
+// SubmitChainContext is SubmitChain with deadline plumbing and an
+// admission choice, mirroring SubmitContext.
+func (cl *Cluster) SubmitChainContext(ctx context.Context, fns []uint16, input []byte, wait bool) *Pending {
+	return cl.SubmitChainContextTraced(ctx, fns, input, wait, trace.SpanRef{})
+}
+
+// SubmitChainContextTraced is SubmitChainContext carrying the caller's
+// trace span, mirroring SubmitContextTraced. The card worker coalesces
+// consecutive same-chain submissions into one pipelined chain batch
+// (stage s of item N overlapping stage s+1 of item N-1).
+func (cl *Cluster) SubmitChainContextTraced(ctx context.Context, fns []uint16, input []byte, wait bool, ref trace.SpanRef) *Pending {
+	stages := append([]uint16(nil), fns...)
+	var fn uint16
+	if len(stages) > 0 {
+		fn = stages[0]
+	}
+	p := &Pending{fn: fn, stages: stages, input: input, ctx: ctx, done: make(chan struct{}), card: -1, ref: ref}
+	if ref.Valid() {
+		p.tSubmit = nowNS()
+	}
+	if err := ctx.Err(); err != nil {
+		p.complete(nil, -1, err)
+		return p
+	}
+	card, err := cl.routeChain(stages)
+	if err != nil {
+		p.complete(nil, -1, err)
+		return p
+	}
+	p.card = card
+	if err := cl.enqueue(ctx, card, p, wait); err != nil {
+		p.complete(nil, card, err)
+	}
+	return p
+}
+
+// serveChainRun executes a coalesced run of same-chain jobs on one
+// card: a single chained call for a lone job, a pipelined chain batch
+// otherwise. Per-item results come back as CallResult views whose Hit
+// means "every stage was already resident".
+func (cl *Cluster) serveChainRun(card int, run []*Pending, runRef trace.SpanRef, stampDone func([]*Pending)) {
+	cp := cl.cards[card]
+	stages := run[0].stages
+	if len(run) == 1 {
+		var res *core.ChainResult
+		var err error
+		if runRef.Valid() {
+			res, err = cp.CallChainIDTraced(stages, run[0].input, runRef.TraceID, runRef.SpanID)
+		} else {
+			res, err = cp.CallChainID(stages, run[0].input)
+		}
+		stampDone(run)
+		if err != nil {
+			run[0].complete(nil, card, err)
+			return
+		}
+		run[0].complete(&core.CallResult{
+			Output:    res.Output,
+			Breakdown: res.Breakdown,
+			Latency:   res.Latency,
+			Hit:       res.Hits == len(res.Stages),
+		}, card, nil)
+		return
+	}
+	inputs := make([][]byte, len(run))
+	for i, p := range run {
+		inputs[i] = p.input
+	}
+	var batch *core.ChainBatchResult
+	var err error
+	if runRef.Valid() {
+		batch, err = cp.CallChainBatchIDTraced(stages, inputs, runRef.TraceID, runRef.SpanID)
+	} else {
+		batch, err = cp.CallChainBatchID(stages, inputs)
+	}
+	stampDone(run)
+	if err != nil {
+		for _, p := range run {
+			p.complete(nil, card, err)
+		}
+		return
+	}
+	for i, p := range run {
+		p.complete(batch.Results[i], card, nil)
+	}
+}

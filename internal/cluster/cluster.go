@@ -87,6 +87,10 @@ type Cluster struct {
 	rr int
 	// affinity maps function id → pinned card (affinity mode).
 	affinity map[uint16]int
+	// chainAffinity maps a chain's stage-list key → pinned card
+	// (affinity mode): chains pin as a unit, not per stage, so repeated
+	// chains land on the card already holding every stage resident.
+	chainAffinity map[string]int
 	// load is the pinned frame demand per card (affinity mode).
 	load []int
 
@@ -128,12 +132,13 @@ func NewWithOptions(n int, mode string, cfg core.Config, opts Options) (*Cluster
 		opts.Coalesce = DefaultCoalesce
 	}
 	cl := &Cluster{
-		mode:     mode,
-		home:     make(map[uint16]int),
-		demand:   make(map[uint16]int),
-		affinity: make(map[uint16]int),
-		load:     make([]int, n),
-		opts:     opts,
+		mode:          mode,
+		home:          make(map[uint16]int),
+		demand:        make(map[uint16]int),
+		affinity:      make(map[uint16]int),
+		chainAffinity: make(map[string]int),
+		load:          make([]int, n),
+		opts:          opts,
 	}
 	cl.metrics = cfg.Metrics
 	for i := 0; i < n; i++ {
@@ -317,13 +322,17 @@ func (cl *Cluster) Call(fnID uint16, input []byte) (*core.CallResult, int, error
 // Pending is an in-flight submission. Wait blocks until the card served
 // (or failed) the request.
 type Pending struct {
-	fn    uint16
-	input []byte
-	ctx   context.Context
-	done  chan struct{}
-	res   *core.CallResult
-	card  int
-	err   error
+	fn uint16
+	// stages, when non-nil, marks this Pending as a chained submission:
+	// the stage list runs as one on-card dataflow chain (fn is stage 0,
+	// kept for metrics labels). Plain calls leave it nil.
+	stages []uint16
+	input  []byte
+	ctx    context.Context
+	done   chan struct{}
+	res    *core.CallResult
+	card   int
+	err    error
 	// group, when non-nil, marks this Pending as a carrier for a
 	// same-function group submitted together (SubmitGroup): the carrier
 	// occupies one queue slot and the worker expands it into its
@@ -601,7 +610,7 @@ func (cl *Cluster) worker(card int) {
 					break coalesce
 				}
 				depth.Dec()
-				if next.fn == p.fn {
+				if next.fn == p.fn && sameStages(next.stages, p.stages) {
 					run = append(run, next.expand()...)
 				} else {
 					held = next
@@ -672,6 +681,12 @@ func (cl *Cluster) serveRun(card int, run []*Pending) {
 			cl.metrics.Counter("agile_cluster_coalesce_runs_total", cl.cardLabels[card]).Inc()
 			cl.metrics.Counter("agile_cluster_coalesced_jobs_total", cl.cardLabels[card]).Add(uint64(len(run)))
 		}
+	}
+	if run[0].stages != nil {
+		// A chained run: the worker's coalescing already grouped only
+		// identical stage lists, so the whole run is one chain.
+		cl.serveChainRun(card, run, runRef, stampDone)
+		return
 	}
 	if len(run) == 1 {
 		var res *core.CallResult
@@ -802,6 +817,9 @@ func (cl *Cluster) Stats() Stats {
 		out.Total.PipeWindows += st.PipeWindows
 		out.Total.PipeStallTime += st.PipeStallTime
 		out.Total.PipeOverlapSaved += st.PipeOverlapSaved
+		out.Total.ChainRuns += st.ChainRuns
+		out.Total.ChainStages += st.ChainStages
+		out.Total.ChainHandoffBytes += st.ChainHandoffBytes
 		out.Total.Defrags += st.Defrags
 		out.Total.Errors += st.Errors
 		out.Total.Phases.AddAll(st.Phases)

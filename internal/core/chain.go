@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"agilefpga/internal/mcu"
+	"agilefpga/internal/metrics"
+	"agilefpga/internal/pci"
+	"agilefpga/internal/sim"
+)
+
+// On-fabric function chaining (DESIGN §15): the host ships the input
+// once, the card runs every stage with intermediate results handed
+// through local RAM, and the host collects only the final output — a
+// k-stage pipeline crosses PCI twice instead of 2k times.
+
+// ChainStageResult reports one stage of a chained invocation.
+type ChainStageResult struct {
+	Fn uint16
+	// Hit reports whether the stage was already on the fabric.
+	Hit bool
+	// Breakdown is the stage's share of the chain's card time (no PCI).
+	Breakdown sim.Breakdown
+}
+
+// ChainResult reports one chained invocation.
+type ChainResult struct {
+	// Output is the final stage's output, byte-identical to feeding the
+	// stages as separate Calls.
+	Output []byte
+	// Breakdown covers the whole round trip: every stage's card phases
+	// plus PhasePCI charged once for input-in and output-out.
+	Breakdown sim.Breakdown
+	// Latency is Breakdown.Total().
+	Latency sim.Time
+	// Hits counts stages that were already resident.
+	Hits int
+	// Stages carries the per-stage attribution; stage breakdowns sum to
+	// Breakdown minus the PCI phase.
+	Stages []ChainStageResult
+}
+
+// CallChain executes the named functions as one on-card dataflow chain
+// over input, stage k's output feeding stage k+1 through the card's
+// local RAM.
+func (cp *CoProcessor) CallChain(names []string, input []byte) (*ChainResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	fns, err := cp.lookupChain(names)
+	if err != nil {
+		return nil, err
+	}
+	return cp.callChainID(fns, input)
+}
+
+// CallChainID is CallChain by function ids.
+func (cp *CoProcessor) CallChainID(fns []uint16, input []byte) (*ChainResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.callChainID(fns, input)
+}
+
+// CallChainIDTraced is CallChainID with a distributed-trace tag, scoped
+// by the card lock exactly like CallIDTraced.
+func (cp *CoProcessor) CallChainIDTraced(fns []uint16, input []byte, traceID, spanID uint64) (*ChainResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.ctrl.SetRequestTrace(traceID, spanID)
+	defer cp.ctrl.SetRequestTrace(0, 0)
+	return cp.callChainID(fns, input)
+}
+
+// lookupChain resolves a stage list of provisioned function names.
+// Callers hold cp.mu.
+func (cp *CoProcessor) lookupChain(names []string) ([]uint16, error) {
+	fns := make([]uint16, len(names))
+	for i, name := range names {
+		f, err := cp.lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f.ID()
+	}
+	return fns, nil
+}
+
+// latchChain writes the stage list into the card's RegCHAIN latch,
+// returning the bus cycles spent. The latch persists across commands,
+// so a batch pays it once.
+func (cp *CoProcessor) latchChain(fns []uint16) (uint64, error) {
+	var busCycles uint64
+	for i, fn := range fns {
+		cyc, err := cp.bus.WriteWord(cp.slot, 0, mcu.RegCHAIN, uint32(i)<<16|uint32(fn))
+		if err != nil {
+			return busCycles, err
+		}
+		busCycles += cyc
+	}
+	return busCycles, nil
+}
+
+// callChainID runs the host chain protocol with cp.mu held: input into
+// BAR1, stage latch, CmdExecChain, final output out of BAR1.
+func (cp *CoProcessor) callChainID(fns []uint16, input []byte) (*ChainResult, error) {
+	if len(fns) < 2 || len(fns) > mcu.MaxChainStages {
+		return nil, fmt.Errorf("core: chain must name 2..%d stages, got %d", mcu.MaxChainStages, len(fns))
+	}
+	if len(input) == 0 {
+		return nil, errors.New("core: empty input")
+	}
+	if len(input) > cp.ctrl.InWindowBytes() {
+		return nil, fmt.Errorf("core: input of %d bytes exceeds the %d-byte staging window",
+			len(input), cp.ctrl.InWindowBytes())
+	}
+
+	var busCycles uint64
+	// 1. Input into BAR1 — the one and only host→card data transfer.
+	cyc, err := cp.bus.Write(cp.slot, 1, 0, input)
+	if err != nil {
+		return nil, err
+	}
+	busCycles += cyc
+	// 2. Stage latch, arguments, command.
+	cyc, err = cp.latchChain(fns)
+	busCycles += cyc
+	if err != nil {
+		return nil, err
+	}
+	for _, rw := range []struct {
+		off, val uint32
+	}{
+		{mcu.RegARG0, uint32(len(fns))},
+		{mcu.RegARG1, uint32(len(input))},
+		{mcu.RegCMD, mcu.CmdExecChain},
+	} {
+		cyc, err := cp.bus.WriteWord(cp.slot, 0, rw.off, rw.val)
+		if err != nil {
+			return nil, err
+		}
+		busCycles += cyc
+	}
+	// 3. Status and result length.
+	status, cyc, err := cp.bus.ReadWord(cp.slot, 0, mcu.RegSTATUS)
+	if err != nil {
+		return nil, err
+	}
+	busCycles += cyc
+	if status != mcu.StatusOK {
+		code, cyc2, _ := cp.bus.ReadWord(cp.slot, 0, mcu.RegERRCODE)
+		busCycles += cyc2
+		cp.pciDom.Advance(busCycles)
+		return nil, fmt.Errorf("core: card reported error code %d for chain %v", code, fns)
+	}
+	rlen, cyc, err := cp.bus.ReadWord(cp.slot, 0, mcu.RegRESULTLEN)
+	if err != nil {
+		return nil, err
+	}
+	busCycles += cyc
+	// 4. Final output from BAR1 — the one card→host data transfer.
+	out, cyc, err := cp.bus.Read(cp.slot, 1, cp.ctrl.OutWindowOff(), int(rlen))
+	if err != nil {
+		return nil, err
+	}
+	busCycles += cyc
+
+	br := cp.ctrl.LastBreakdown()
+	br.Add(sim.PhasePCI, cp.pciDom.Advance(busCycles))
+	res := &ChainResult{
+		Output:    out,
+		Breakdown: br,
+		Latency:   br.Total(),
+	}
+	for _, st := range cp.ctrl.LastChainStages() {
+		if st.Hit {
+			res.Hits++
+		}
+		res.Stages = append(res.Stages, ChainStageResult{Fn: st.Fn, Hit: st.Hit, Breakdown: st.Cost})
+	}
+	cp.observeChainRoundTrip(fns, br)
+	return res, nil
+}
+
+// observeChainRoundTrip records the host-side view of one finished
+// chain under a chain-shaped label ("sha256->aes128"), keeping the
+// per-function request histograms uncontaminated; per-stage card
+// phases are observed in mcu against each stage's own function.
+func (cp *CoProcessor) observeChainRoundTrip(fns []uint16, br sim.Breakdown) {
+	if cp.metrics == nil {
+		return
+	}
+	label := cp.chainLabel(fns)
+	if t := br.Get(sim.PhasePCI); t != 0 {
+		cp.metrics.Histogram("agile_phase_seconds",
+			metrics.L("phase", sim.PhasePCI.String()), metrics.L("fn", label)).Observe(t)
+	}
+	cp.metrics.Histogram("agile_chain_seconds", metrics.L("chain", label)).Observe(br.Total())
+}
+
+// chainLabel renders a stage list as one metric label.
+func (cp *CoProcessor) chainLabel(fns []uint16) string {
+	parts := make([]string, len(fns))
+	for i, fn := range fns {
+		parts[i] = cp.fnLabel(fn)
+	}
+	return strings.Join(parts, "->")
+}
+
+// ChainBatchResult reports a pipelined batch of chained calls.
+type ChainBatchResult struct {
+	Outputs [][]byte
+	// Latency is the batch completion time with the card's stages
+	// pipelined across items: stage k+1 of item N runs while stage k
+	// processes item N+1, under the same half-duplex-bus / card
+	// two-resource model as BatchResult.
+	Latency sim.Time
+	// SequentialLatency is what the same items cost as independent
+	// synchronous chained calls.
+	SequentialLatency sim.Time
+	// OverlapSaved is the card time the inter-item stage overlap hid:
+	// the card's critical path undercuts the sum of its per-item chain
+	// times by this much. Zero under SequentialConfig.
+	OverlapSaved sim.Time
+	// Hits counts items whose every stage was already resident.
+	Hits int
+	// Results carries per-item round-trip views for callers that fan a
+	// batch back out to individual requests (the cluster's coalescer).
+	Results []*CallResult
+}
+
+// CallChainBatch executes the named chain over every input, modelling
+// the per-stage pipeline across items. Outputs and card state are
+// identical to issuing the chained calls one by one.
+func (cp *CoProcessor) CallChainBatch(names []string, inputs [][]byte) (*ChainBatchResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	fns, err := cp.lookupChain(names)
+	if err != nil {
+		return nil, err
+	}
+	return cp.callChainBatchID(fns, inputs)
+}
+
+// CallChainBatchID is CallChainBatch by function ids.
+func (cp *CoProcessor) CallChainBatchID(fns []uint16, inputs [][]byte) (*ChainBatchResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.callChainBatchID(fns, inputs)
+}
+
+// CallChainBatchIDTraced is CallChainBatchID with a distributed-trace
+// tag (by convention the first traced member's), scoped like
+// CallBatchIDTraced.
+func (cp *CoProcessor) CallChainBatchIDTraced(fns []uint16, inputs [][]byte, traceID, spanID uint64) (*ChainBatchResult, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.ctrl.SetRequestTrace(traceID, spanID)
+	defer cp.ctrl.SetRequestTrace(0, 0)
+	return cp.callChainBatchID(fns, inputs)
+}
+
+func (cp *CoProcessor) callChainBatchID(fns []uint16, inputs [][]byte) (*ChainBatchResult, error) {
+	if len(fns) < 2 || len(fns) > mcu.MaxChainStages {
+		return nil, fmt.Errorf("core: chain must name 2..%d stages, got %d", mcu.MaxChainStages, len(fns))
+	}
+	if len(inputs) == 0 {
+		return nil, errors.New("core: empty batch")
+	}
+	res := &ChainBatchResult{Outputs: make([][]byte, 0, len(inputs))}
+	var busTotal, cardTotal sim.Time
+	var firstIn, lastOut sim.Time
+	// Card-side pipeline, one slot per physically distinct resource the
+	// chain occupies in sequence: the data-input module, each stage's
+	// fabric region (chain stages are simultaneously resident, so stage
+	// s of item N and stage s+1 of item N-1 genuinely run in parallel),
+	// and the output-collection module.
+	phases := make([]sim.Phase, 0, len(fns)+2)
+	phases = append(phases, sim.PhaseDataIn)
+	for range fns {
+		phases = append(phases, sim.PhaseExec)
+	}
+	phases = append(phases, sim.PhaseDataOut)
+	cardPipe := sim.NewPipeline(phases...)
+	costs := make([]sim.Time, 0, len(fns)+2)
+
+	// The stage latch persists across mailbox commands: pay it once.
+	latchCycles, err := cp.latchChain(fns)
+	if err != nil {
+		return nil, err
+	}
+	for i, input := range inputs {
+		if len(input) == 0 {
+			return nil, fmt.Errorf("core: empty input at batch index %d", i)
+		}
+		if len(input) > cp.ctrl.InWindowBytes() {
+			return nil, fmt.Errorf("core: batch item %d exceeds the staging window", i)
+		}
+
+		inCycles := latchCycles + pci.TransferCycles(len(input))
+		latchCycles = 0
+		if _, err := cp.bus.Write(cp.slot, 1, 0, input); err != nil {
+			return nil, err
+		}
+		for _, rw := range []struct {
+			off, val uint32
+		}{
+			{mcu.RegARG0, uint32(len(fns))},
+			{mcu.RegARG1, uint32(len(input))},
+			{mcu.RegCMD, mcu.CmdExecChain},
+		} {
+			cyc, err := cp.bus.WriteWord(cp.slot, 0, rw.off, rw.val)
+			if err != nil {
+				return nil, err
+			}
+			inCycles += cyc
+		}
+		status, cyc, err := cp.bus.ReadWord(cp.slot, 0, mcu.RegSTATUS)
+		if err != nil {
+			return nil, err
+		}
+		outCycles := cyc
+		if status != mcu.StatusOK {
+			code, _, _ := cp.bus.ReadWord(cp.slot, 0, mcu.RegERRCODE)
+			return nil, fmt.Errorf("core: chain batch item %d: card error code %d", i, code)
+		}
+		rlen, cyc, err := cp.bus.ReadWord(cp.slot, 0, mcu.RegRESULTLEN)
+		if err != nil {
+			return nil, err
+		}
+		outCycles += cyc
+		out, cyc, err := cp.bus.Read(cp.slot, 1, cp.ctrl.OutWindowOff(), int(rlen))
+		if err != nil {
+			return nil, err
+		}
+		outCycles += cyc
+		res.Outputs = append(res.Outputs, out)
+
+		inT := cp.pciDom.Advance(inCycles)
+		outT := cp.pciDom.Advance(outCycles)
+		itemBr := cp.ctrl.LastBreakdown()
+		stages := cp.ctrl.LastChainStages()
+		cardT := itemBr.Total()
+		busTotal += inT + outT
+		cardTotal += cardT
+
+		// Slot costs, summing exactly to cardT. The entry slot carries
+		// stage 0's lookup/config/data-in; each stage slot carries its
+		// exec plus — for later stages — the RAM hand-off that precedes
+		// it (previous stage's data-out and its own lookup/config/
+		// data-in); the exit slot carries the final stage's data-out.
+		costs = costs[:0]
+		first := stages[0].Cost
+		costs = append(costs, first.Total()-first.Get(sim.PhaseExec)-first.Get(sim.PhaseDataOut))
+		for s := range stages {
+			t := stages[s].Cost.Get(sim.PhaseExec)
+			if s > 0 {
+				t += stages[s-1].Cost.Get(sim.PhaseDataOut)
+				t += stages[s].Cost.Total() - stages[s].Cost.Get(sim.PhaseExec) - stages[s].Cost.Get(sim.PhaseDataOut)
+			}
+			costs = append(costs, t)
+		}
+		costs = append(costs, stages[len(stages)-1].Cost.Get(sim.PhaseDataOut))
+		cardPipe.Feed(costs...)
+
+		res.SequentialLatency += inT + outT + cardT
+		if i == 0 {
+			firstIn = inT
+		}
+		lastOut = outT
+		allHit := true
+		for s := range stages {
+			if !stages[s].Hit {
+				allHit = false
+				break
+			}
+		}
+		if allHit {
+			res.Hits++
+		}
+		itemBr.Add(sim.PhasePCI, inT+outT)
+		cp.observeChainRoundTrip(fns, itemBr)
+		res.Results = append(res.Results, &CallResult{
+			Output:    out,
+			Breakdown: itemBr,
+			Latency:   itemBr.Total(),
+			Hit:       allHit,
+		})
+	}
+	cardPath := cardTotal
+	if !cp.cfg.SequentialConfig {
+		cardPath = cardPipe.Latency()
+		res.OverlapSaved = cardTotal - cardPath
+	}
+	pipelined := busTotal
+	if edge := firstIn + cardPath + lastOut; edge > pipelined {
+		pipelined = edge
+	}
+	res.Latency = pipelined
+	if cp.metrics != nil && res.OverlapSaved != 0 {
+		cp.metrics.Counter("agile_chain_overlap_saved_ps_total").Add(uint64(res.OverlapSaved))
+	}
+	return res, nil
+}

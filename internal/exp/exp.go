@@ -92,6 +92,10 @@ func All() []Experiment {
 			r, err := RunE19(0, 0, nil)
 			return tableOf(r, err)
 		}},
+		{"e20", "On-fabric function chaining vs staged calls", func() (*Table, error) {
+			r, err := RunE20(16, 2048)
+			return tableOf(r, err)
+		}},
 		{"e23", "Network-path throughput (mux + cross-client batching)", func() (*Table, error) {
 			r, err := RunE23(4000, 512)
 			return tableOf(r, err)
@@ -148,4 +152,5 @@ func (r *E15Result) table() *Table { return &r.Table }
 func (r *E16Result) table() *Table { return &r.Table }
 func (r *E18Result) table() *Table { return &r.Table }
 func (r *E19Result) table() *Table { return &r.Table }
+func (r *E20Result) table() *Table { return &r.Table }
 func (r *E23Result) table() *Table { return &r.Table }

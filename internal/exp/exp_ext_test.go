@@ -184,14 +184,14 @@ func TestE15ClusterShape(t *testing.T) {
 
 func TestCatalogueExtended(t *testing.T) {
 	exps := All()
-	if len(exps) != 20 {
+	if len(exps) != 21 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	// Numeric ordering: e9 before e10.
 	if exps[8].ID != "e9" || exps[9].ID != "e10" {
 		t.Errorf("ordering wrong: %s, %s", exps[8].ID, exps[9].ID)
 	}
-	for _, id := range []string{"e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e23"} {
+	for _, id := range []string{"e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e23"} {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("ByID(%s): %v", id, err)
 		}

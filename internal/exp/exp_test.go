@@ -243,9 +243,38 @@ func TestE18PipelineShape(t *testing.T) {
 	}
 }
 
+func TestE20ChainingShape(t *testing.T) {
+	r, err := RunE20(8, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatal("chained outputs diverged from staged outputs")
+	}
+	for chain, stagedPCI := range r.StagedPCI {
+		// A 2-stage chain crosses PCI twice instead of four times; the
+		// intermediate may be smaller than the input, so the chained PCI
+		// share must land well under the staged one but need not halve.
+		if r.ChainPCI[chain] >= stagedPCI {
+			t.Errorf("%s: chained PCI %v not below staged %v", chain, r.ChainPCI[chain], stagedPCI)
+		}
+		if r.ChainLatency[chain] >= r.StagedLatency[chain] {
+			t.Errorf("%s: chained per-item %v not below staged %v",
+				chain, r.ChainLatency[chain], r.StagedLatency[chain])
+		}
+		// The batched chain overlaps stages across items AND drops the
+		// host bounce between the two staged CallBatch passes, so it must
+		// beat the E11-style staged ceiling.
+		if r.ChainBatch[chain] >= r.StagedBatch[chain] {
+			t.Errorf("%s: chain batch %v not below staged batches %v",
+				chain, r.ChainBatch[chain], r.StagedBatch[chain])
+		}
+	}
+}
+
 func TestCatalogue(t *testing.T) {
 	exps := All()
-	if len(exps) != 20 {
+	if len(exps) != 21 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	if _, err := ByID("e3"); err != nil {

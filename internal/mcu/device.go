@@ -32,7 +32,8 @@ const (
 	RegERRCODE   = 0x14
 	RegFREEFRM   = 0x18 // free frame count (read-only telemetry)
 	RegREQS      = 0x1C // request counter (read-only telemetry)
-	bar0Bytes    = 0x20
+	RegCHAIN     = 0x20 // chain stage latch: write (index<<16)|fnID
+	bar0Bytes    = 0x24
 )
 
 // Mailbox commands.
@@ -43,6 +44,11 @@ const (
 	CmdQuery  = 3 // ARG0 = fn id → STATUS = StatusResident / StatusAbsent
 	CmdScrub  = 4 // RESULTLEN = frames repaired
 	CmdDefrag = 5 // RESULTLEN = functions moved
+	// CmdExecChain runs the functions latched through RegCHAIN as one
+	// on-fabric dataflow chain. ARG0 = stage count, ARG1 = input length;
+	// input and final output use the same BAR1 windows as CmdExec —
+	// intermediate results never leave the card.
+	CmdExecChain = 6
 )
 
 // STATUS values.
@@ -70,6 +76,10 @@ type mailbox struct {
 	status     uint32
 	resultLen  uint32
 	errCode    uint32
+	// chain is the stage latch CmdExecChain executes from, filled one
+	// stage at a time through RegCHAIN writes. It persists across
+	// commands, so a batch of same-chain items latches the stages once.
+	chain [MaxChainStages]uint16
 }
 
 // OutWindowOff reports the BAR1 offset of the output staging window.
@@ -160,6 +170,10 @@ func (c *Controller) writeRegs(off uint32, p []byte) error {
 			c.regs.arg1 = v
 		case RegCMD:
 			c.command(v)
+		case RegCHAIN:
+			if idx := v >> 16; idx < MaxChainStages {
+				c.regs.chain[idx] = uint16(v)
+			}
 		case RegSTATUS, RegRESULTLEN, RegERRCODE, RegFREEFRM, RegREQS:
 			// Read-only; writes are ignored, as hardware would.
 		}
@@ -195,6 +209,8 @@ func (c *Controller) command(cmd uint32) {
 		}
 		c.regs.status = StatusOK
 		c.regs.resultLen = uint32(rep.FramesRepaired)
+	case CmdExecChain:
+		c.cmdExecChain()
 	case CmdDefrag:
 		moved, _, err := c.Defrag()
 		if err != nil {
@@ -235,6 +251,31 @@ func (c *Controller) cmdExec() {
 	c.regs.resultLen = uint32(len(out))
 }
 
+func (c *Controller) cmdExecChain() {
+	nstages := int(c.regs.arg0)
+	n := int(c.regs.arg1)
+	if nstages < 2 || nstages > MaxChainStages || n <= 0 || n > c.InWindowBytes() {
+		c.regs.status = StatusError
+		c.regs.errCode = ErrCodeBadInput
+		return
+	}
+	input, err := c.ram.Read(0, n)
+	if err != nil {
+		c.regs.status = StatusError
+		c.regs.errCode = ErrCodeBadInput
+		return
+	}
+	out, _, _, err := c.ExecuteChain(c.regs.chain[:nstages], input)
+	if err != nil {
+		c.regs.status = StatusError
+		c.regs.errCode = classify(err)
+		c.regs.resultLen = 0
+		return
+	}
+	c.regs.status = StatusOK
+	c.regs.resultLen = uint32(len(out))
+}
+
 func classify(err error) uint32 {
 	switch {
 	case errors.Is(err, memory.ErrNoRecord):
@@ -243,7 +284,7 @@ func classify(err error) uint32 {
 		return ErrCodeTooLarge
 	case errors.Is(err, ErrNoCapacity):
 		return ErrCodeNoCapacity
-	case errors.Is(err, ErrRAMWindow):
+	case errors.Is(err, ErrRAMWindow), errors.Is(err, ErrBadChain):
 		return ErrCodeBadInput
 	default:
 		return ErrCodeInternal

@@ -113,6 +113,10 @@ type Controller struct {
 
 	lastBreakdown sim.Breakdown
 	lastOutputLen int
+	// lastChain holds the per-stage attribution of the most recent
+	// chained command (CmdExecChain), for the host to collect after the
+	// mailbox reports success.
+	lastChain []ChainStage
 
 	stats Stats
 
@@ -271,6 +275,13 @@ type kernel struct {
 	// Difference-based flow: per function, the frames a lazy eviction
 	// left intact and their write generations at eviction time.
 	stale map[uint16]*staleEntry
+
+	// Chain pinning: functions that must stay resident for the duration
+	// of the running chain (ExecuteChain sets and clears them), and the
+	// pinned victims place() hid from the policy so Victim() keeps
+	// making progress; the chain re-registers them on the way out.
+	pinned map[uint16]bool
+	hidden []uint16
 }
 
 // staleEntry records a lazily evicted function's frames so a returning
@@ -319,6 +330,12 @@ type Stats struct {
 	PipeWindows      uint64
 	PipeStallTime    sim.Time
 	PipeOverlapSaved sim.Time
+	// On-fabric chains: chained runs completed, their total stage count,
+	// and the intermediate bytes handed between stages through local RAM
+	// instead of crossing PCI (each would otherwise have crossed twice).
+	ChainRuns         uint64
+	ChainStages       uint64
+	ChainHandoffBytes uint64
 	// Defrags counts stop-the-world compaction passes.
 	Defrags uint64
 	// Failures.
@@ -389,6 +406,7 @@ func New(cfg Config, reg *fpga.Registry) (*Controller, error) {
 		succ:       make(map[uint16]uint16),
 		prefetched: make(map[uint16]bool),
 		stale:      make(map[uint16]*staleEntry),
+		pinned:     make(map[uint16]bool),
 	}
 	for i := 0; i < cfg.Geometry.NumFrames(); i++ {
 		c.kernel.freeList = append(c.kernel.freeList, i)

@@ -143,6 +143,17 @@ func (c *Controller) place(demand int, br *sim.Breakdown) ([]int, error) {
 			return nil, fmt.Errorf("%w: need %d frames, %d free and nothing to evict (%v)",
 				ErrNoCapacity, demand, len(c.kernel.freeList), err)
 		}
+		if c.kernel.pinned[victim] {
+			// A chain stage must not displace another stage of the same
+			// chain. Hide the pinned function from the policy so Victim()
+			// keeps making progress (ExecuteChain re-registers it when the
+			// chain ends) and ask again. When only pinned functions remain,
+			// Victim() runs dry and the loop errors out above: the chain
+			// simply does not fit the device.
+			c.kernel.policy.OnEvict(victim)
+			c.kernel.hidden = append(c.kernel.hidden, victim)
+			continue
+		}
 		c.evict(victim, br)
 	}
 }

@@ -1,0 +1,39 @@
+package router
+
+import (
+	"context"
+	"time"
+)
+
+// chainKey folds a whole stage list into one synthetic ring key
+// (FNV-1a over the big-endian stage bytes, upper half folded in), so a
+// chain's affinity is keyed on the chain — the ordered stage list —
+// not on any single function. Two chains sharing a stage still route
+// independently, and the same chain always lands on the same replica
+// set, keeping all of its stages warm together on one backend.
+func chainKey(stages []uint16) uint16 {
+	h := uint32(2166136261)
+	for _, fn := range stages {
+		h = (h ^ uint32(fn>>8)) * 16777619
+		h = (h ^ uint32(fn&0xFF)) * 16777619
+	}
+	return uint16(h ^ h>>16)
+}
+
+// CallChain routes one chained request through the fleet: the stage
+// list runs as a single on-card dataflow chain on whichever backend
+// the chain's affinity selects, and the final stage's output comes
+// back. Spill, ejection, probing and retry rounds behave exactly as in
+// Call.
+func (r *Router) CallChain(ctx context.Context, stages []uint16, payload []byte) ([]byte, int, error) {
+	var fn uint16
+	if len(stages) > 0 {
+		fn = stages[0]
+	}
+	ref := r.opts.Tracer.StartRoot("route", "router", fn)
+	start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
+	out, card, backendNS, err := r.route(ctx, fn, stages, payload, ref)
+	r.observeRoute(start, backendNS, err, ref.TraceID)
+	r.opts.Tracer.End(ref, routeStatus(err))
+	return out, card, err
+}

@@ -277,7 +277,7 @@ func classify(err error) disposition {
 func (r *Router) Call(ctx context.Context, fn uint16, payload []byte) ([]byte, int, error) {
 	ref := r.opts.Tracer.StartRoot("route", "router", fn)
 	start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
-	out, card, backendNS, err := r.route(ctx, fn, payload, ref)
+	out, card, backendNS, err := r.route(ctx, fn, nil, payload, ref)
 	r.observeRoute(start, backendNS, err, ref.TraceID)
 	r.opts.Tracer.End(ref, routeStatus(err))
 	return out, card, err
@@ -310,7 +310,7 @@ func (r *Router) CallMulti(ctx context.Context, calls []MultiCall) []MultiResult
 			defer wg.Done()
 			cref := r.opts.Tracer.StartChild(ref, "route", "router", calls[i].Fn)
 			start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
-			out, card, backendNS, err := r.route(ctx, calls[i].Fn, calls[i].Payload, cref)
+			out, card, backendNS, err := r.route(ctx, calls[i].Fn, nil, calls[i].Payload, cref)
 			r.observeRoute(start, backendNS, err, cref.TraceID)
 			r.opts.Tracer.End(cref, routeStatus(err))
 			results[i] = MultiResult{Output: out, Card: card, Err: err}
@@ -328,13 +328,20 @@ func (r *Router) CallMulti(ctx context.Context, calls []MultiCall) []MultiResult
 	return results
 }
 
-// route is the candidate/retry loop behind Call and the wire front
-// end. backendNS accumulates wall time spent inside backend forwards,
-// so callers can separate hop overhead from backend service time.
-func (r *Router) route(ctx context.Context, fn uint16, payload []byte, ref trace.SpanRef) (out []byte, card int, backendNS int64, err error) {
+// route is the candidate/retry loop behind Call, CallChain and the
+// wire front end. A non-nil stages list forwards the attempt as a
+// chain; ring affinity then keys on the whole chain (chainKey), not on
+// any single stage, so a chain's stages warm together on one backend.
+// backendNS accumulates wall time spent inside backend forwards, so
+// callers can separate hop overhead from backend service time.
+func (r *Router) route(ctx context.Context, fn uint16, stages []uint16, payload []byte, ref trace.SpanRef) (out []byte, card int, backendNS int64, err error) {
+	key := fn
+	if stages != nil {
+		key = chainKey(stages)
+	}
 	var lastErr error
 	for round := 0; ; round++ {
-		cands, spilled := r.candidates(fn)
+		cands, spilled := r.candidates(key)
 		if spilled {
 			cands[0].spills.Add(1)
 			cands[0].cSpill.Inc()
@@ -346,7 +353,7 @@ func (r *Router) route(ctx context.Context, fn uint16, payload []byte, ref trace
 				}
 				return nil, -1, backendNS, lastErr
 			}
-			out, card, dns, ferr := r.forward(ctx, b, fn, payload, ref)
+			out, card, dns, ferr := r.forward(ctx, b, fn, stages, payload, ref)
 			backendNS += dns
 			if ferr == nil {
 				return out, card, backendNS, nil
@@ -387,7 +394,7 @@ func (r *Router) route(ctx context.Context, fn uint16, payload []byte, ref trace
 // forward sends one attempt to one backend through its mux client,
 // tracking per-backend in-flight (the spill signal) and the forward
 // outcome series.
-func (r *Router) forward(ctx context.Context, b *backend, fn uint16, payload []byte, ref trace.SpanRef) ([]byte, int, int64, error) {
+func (r *Router) forward(ctx context.Context, b *backend, fn uint16, stages []uint16, payload []byte, ref trace.SpanRef) ([]byte, int, int64, error) {
 	c, err := b.getClient(r.backendOpts)
 	if err != nil {
 		r.countForward(b, err)
@@ -396,7 +403,14 @@ func (r *Router) forward(ctx context.Context, b *backend, fn uint16, payload []b
 	b.inflight.Add(1)
 	b.gInflight.Inc()
 	start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
-	out, card, cerr := c.CallRef(ctx, fn, payload, ref)
+	var out []byte
+	var card int
+	var cerr error
+	if stages != nil {
+		out, card, cerr = c.CallChainRef(ctx, stages, payload, ref)
+	} else {
+		out, card, cerr = c.CallRef(ctx, fn, payload, ref)
+	}
 	elapsed := time.Since(start) //lint:wallclock hop accounting is wall time; the router is outside the simulation
 	b.inflight.Add(-1)
 	b.gInflight.Dec()
@@ -580,26 +594,27 @@ func (r *Router) handleConn(c net.Conn) {
 	var idMu sync.Mutex
 	ids := make(map[uint64]struct{})
 	for {
-		req := new(wire.Request)
-		fr, err := wire.ReadRequestFrame(br, req)
+		req := new(wire.AnyRequest)
+		fr, err := wire.ReadAnyRequestFrame(br, req)
 		if err != nil {
 			return
 		}
+		id := req.ID()
 		idMu.Lock()
-		_, dup := ids[req.ID]
+		_, dup := ids[id]
 		if !dup {
-			ids[req.ID] = struct{}{}
+			ids[id] = struct{}{}
 		}
 		idMu.Unlock()
 		if dup {
 			fr.Release()
-			write(&wire.Response{ID: req.ID, Status: wire.StatusInvalidArgument, Card: -1,
-				Payload: []byte(fmt.Sprintf("request id %d already in flight on this connection", req.ID))})
+			write(&wire.Response{ID: id, Status: wire.StatusInvalidArgument, Card: -1,
+				Payload: []byte(fmt.Sprintf("request id %d already in flight on this connection", id))})
 			return
 		}
 		finish := func() {
 			idMu.Lock()
-			delete(ids, req.ID)
+			delete(ids, id)
 			idMu.Unlock()
 		}
 		r.handleRequest(req, fr, write, finish)
@@ -609,9 +624,10 @@ func (r *Router) handleConn(c net.Conn) {
 // handleRequest admits one front-end request and dispatches it in its
 // own goroutine. Admission and in-flight registration happen under mu
 // so Shutdown's drain wait cannot race a late admission.
-func (r *Router) handleRequest(req *wire.Request, fr wire.Frame, write func(*wire.Response), finish func()) {
+func (r *Router) handleRequest(req *wire.AnyRequest, fr wire.Frame, write func(*wire.Response), finish func()) {
+	id, fn := req.ID(), req.Fn()
 	refuse := func(st wire.Status, msg string) {
-		write(&wire.Response{ID: req.ID, Status: st, Card: -1, Payload: []byte(msg)})
+		write(&wire.Response{ID: id, Status: st, Card: -1, Payload: []byte(msg)})
 		finish()
 		fr.Release()
 	}
@@ -637,9 +653,9 @@ func (r *Router) handleRequest(req *wire.Request, fr wire.Frame, write func(*wir
 			r.inflight.Done()
 		}()
 		ctx := context.Background()
-		if req.Deadline > 0 {
+		if dl := req.Deadline(); dl > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+			ctx, cancel = context.WithTimeout(ctx, dl)
 			defer cancel()
 		}
 		// The route span sits between the client's call span and the
@@ -647,19 +663,26 @@ func (r *Router) handleRequest(req *wire.Request, fr wire.Frame, write func(*wir
 		// an incoming context verbatim (passthrough ref), so the trace
 		// survives the hop even when this process records nothing.
 		var ref trace.SpanRef
-		if req.Trace.Valid() {
-			ref = r.opts.Tracer.StartRemote(req.Trace.TraceID, req.Trace.SpanID,
-				req.Trace.Sampled(), "route", "router", req.Fn)
-			if !ref.Valid() && req.Trace.Sampled() {
-				ref = trace.SpanRef{TraceID: req.Trace.TraceID, SpanID: req.Trace.SpanID}
+		if tc := req.TraceContext(); tc.Valid() {
+			ref = r.opts.Tracer.StartRemote(tc.TraceID, tc.SpanID,
+				tc.Sampled(), "route", "router", fn)
+			if !ref.Valid() && tc.Sampled() {
+				ref = trace.SpanRef{TraceID: tc.TraceID, SpanID: tc.SpanID}
 			}
 		} else {
-			ref = r.opts.Tracer.StartRoot("route", "router", req.Fn)
+			ref = r.opts.Tracer.StartRoot("route", "router", fn)
+		}
+		var stages []uint16
+		var payloadIn []byte
+		if req.IsChain {
+			stages, payloadIn = req.Chain.Stages, req.Chain.Payload
+		} else {
+			payloadIn = req.Plain.Payload
 		}
 		start := time.Now() //lint:wallclock hop accounting is wall time; the router is outside the simulation
-		out, card, backendNS, err := r.route(ctx, req.Fn, req.Payload, ref)
+		out, card, backendNS, err := r.route(ctx, fn, stages, payloadIn, ref)
 		st, payload := responseFor(out, err)
-		write(&wire.Response{ID: req.ID, Status: st, Card: int16(card), Payload: payload})
+		write(&wire.Response{ID: id, Status: st, Card: int16(card), Payload: payload})
 		finish()
 		fr.Release()
 		r.observeRoute(start, backendNS, err, ref.TraceID)

@@ -219,18 +219,19 @@ func (s *Server) handleConn(c net.Conn) {
 	var idMu sync.Mutex
 	ids := make(map[uint64]struct{}) // request ids currently in flight on this conn
 	for {
-		req := new(wire.Request)
-		fr, err := wire.ReadRequestFrame(br, req)
+		req := new(wire.AnyRequest)
+		fr, err := wire.ReadAnyRequestFrame(br, req)
 		if err != nil {
 			if s.opts.Metrics != nil && !errors.Is(err, net.ErrClosed) {
 				s.opts.Metrics.Counter("agile_server_decode_errors_total").Inc()
 			}
 			return
 		}
+		id := req.ID()
 		idMu.Lock()
-		_, dup := ids[req.ID]
+		_, dup := ids[id]
 		if !dup {
-			ids[req.ID] = struct{}{}
+			ids[id] = struct{}{}
 		}
 		idMu.Unlock()
 		if dup {
@@ -241,13 +242,13 @@ func (s *Server) handleConn(c net.Conn) {
 			if s.opts.Metrics != nil {
 				s.opts.Metrics.Counter("agile_server_protocol_errors_total").Inc()
 			}
-			s.refuse(req, write, wire.StatusInvalidArgument,
-				fmt.Sprintf("request id %d already in flight on this connection", req.ID))
+			s.refuse(id, req.Fn(), write, wire.StatusInvalidArgument,
+				fmt.Sprintf("request id %d already in flight on this connection", id))
 			return
 		}
 		finish := func() {
 			idMu.Lock()
-			delete(ids, req.ID)
+			delete(ids, id)
 			idMu.Unlock()
 		}
 		s.handleRequest(req, fr, write, finish, c.RemoteAddr().String())
@@ -258,11 +259,12 @@ func (s *Server) handleConn(c net.Conn) {
 // its own goroutine. The draining check, semaphore acquisition and
 // in-flight registration happen atomically under mu so Shutdown's
 // drain wait cannot race a late admission.
-func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wire.Response), finish func(), remote string) {
+func (s *Server) handleRequest(req *wire.AnyRequest, fr wire.Frame, write func(*wire.Response), finish func(), remote string) {
+	id, fn := req.ID(), req.Fn()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.refuse(req, write, wire.StatusUnavailable, DrainMessage)
+		s.refuse(id, fn, write, wire.StatusUnavailable, DrainMessage)
 		finish()
 		fr.Release()
 		return
@@ -271,7 +273,7 @@ func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wir
 	case s.sem <- struct{}{}:
 	default:
 		s.mu.Unlock()
-		s.refuse(req, write, wire.StatusResourceExhausted,
+		s.refuse(id, fn, write, wire.StatusResourceExhausted,
 			fmt.Sprintf("server at capacity (%d in flight)", cap(s.sem)))
 		finish()
 		fr.Release()
@@ -293,9 +295,9 @@ func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wir
 		// The request's budget starts at admission, so time spent in
 		// dispatch counts against the deadline the client asked for.
 		ctx := context.Background()
-		if req.Deadline > 0 {
+		if dl := req.Deadline(); dl > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+			ctx, cancel = context.WithTimeout(ctx, dl)
 			defer cancel()
 		}
 		// The admission span: join the client's trace when the wire
@@ -303,22 +305,22 @@ func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wir
 		// A nil Tracer (or a sampled-out decision) yields a zero ref and
 		// every downstream span call is a no-op.
 		var ref trace.SpanRef
-		if req.Trace.Valid() {
-			ref = s.opts.Tracer.StartRemote(req.Trace.TraceID, req.Trace.SpanID,
-				req.Trace.Sampled(), "rpc", "server", req.Fn)
+		if tc := req.TraceContext(); tc.Valid() {
+			ref = s.opts.Tracer.StartRemote(tc.TraceID, tc.SpanID,
+				tc.Sampled(), "rpc", "server", fn)
 		} else {
-			ref = s.opts.Tracer.StartRoot("rpc", "server", req.Fn)
+			ref = s.opts.Tracer.StartRoot("rpc", "server", fn)
 		}
 		start := time.Now() //lint:wallclock served latency is wall time seen by network clients
-		entry := &inflightReq{id: req.ID, fn: req.Fn, conn: remote, start: start, traceID: ref.TraceID}
+		entry := &inflightReq{id: id, fn: fn, conn: remote, start: start, traceID: ref.TraceID}
 		s.reqMu.Lock()
 		s.reqs[entry] = struct{}{}
 		s.reqMu.Unlock()
-		if s.hookAdmitted != nil {
-			s.hookAdmitted(req)
+		if s.hookAdmitted != nil && !req.IsChain {
+			s.hookAdmitted(&req.Plain)
 		}
 		status, card, payload := s.execute(ctx, req, ref)
-		write(&wire.Response{ID: req.ID, Status: status, Card: card, Payload: payload})
+		write(&wire.Response{ID: id, Status: status, Card: card, Payload: payload})
 		// The response is on the wire: the id may be reused and the
 		// request's read buffer (aliased by its payload) recycled.
 		finish()
@@ -327,7 +329,7 @@ func (s *Server) handleRequest(req *wire.Request, fr wire.Frame, write func(*wir
 		delete(s.reqs, entry)
 		s.reqMu.Unlock()
 		s.opts.Tracer.End(ref, statusLabel(status))
-		s.observeTraced(req, status, card, time.Since(start), ref.TraceID) //lint:wallclock served latency is wall time seen by network clients
+		s.observeTraced(id, fn, status, card, time.Since(start), ref.TraceID) //lint:wallclock served latency is wall time seen by network clients
 	}()
 }
 
@@ -341,23 +343,32 @@ func statusLabel(st wire.Status) string {
 }
 
 // refuse answers a request that was never admitted.
-func (s *Server) refuse(req *wire.Request, write func(*wire.Response), st wire.Status, msg string) {
-	write(&wire.Response{ID: req.ID, Status: st, Card: -1, Payload: []byte(msg)})
-	s.observe(req, st, -1, 0)
+func (s *Server) refuse(id uint64, fn uint16, write func(*wire.Response), st wire.Status, msg string) {
+	write(&wire.Response{ID: id, Status: st, Card: -1, Payload: []byte(msg)})
+	s.observe(id, fn, st, -1, 0)
 }
 
 // execute runs one admitted request on the cluster, mapping dispatcher
 // errors to wire statuses. ctx carries the request's deadline; ref the
-// request's server span (zero when the request is not sampled).
-func (s *Server) execute(ctx context.Context, req *wire.Request, ref trace.SpanRef) (wire.Status, int16, []byte) {
-	if len(req.Payload) == 0 {
-		return wire.StatusInvalidArgument, -1, []byte("empty payload")
-	}
+// request's server span (zero when the request is not sampled). A chain
+// request submits its whole stage list as one dispatcher job (the
+// cluster worker coalesces consecutive same-chain submissions into a
+// pipelined chain batch); a plain request goes through the batcher when
+// one is configured.
+func (s *Server) execute(ctx context.Context, req *wire.AnyRequest, ref trace.SpanRef) (wire.Status, int16, []byte) {
 	var p *cluster.Pending
-	if s.batch != nil {
-		p = s.batch.submit(ctx, req, ref)
-	} else {
-		p = s.cl.SubmitContextTraced(ctx, req.Fn, req.Payload, false, ref)
+	switch {
+	case req.IsChain:
+		if len(req.Chain.Payload) == 0 {
+			return wire.StatusInvalidArgument, -1, []byte("empty payload")
+		}
+		p = s.cl.SubmitChainContextTraced(ctx, req.Chain.Stages, req.Chain.Payload, false, ref)
+	case len(req.Plain.Payload) == 0:
+		return wire.StatusInvalidArgument, -1, []byte("empty payload")
+	case s.batch != nil:
+		p = s.batch.submit(ctx, &req.Plain, ref)
+	default:
+		p = s.cl.SubmitContextTraced(ctx, req.Plain.Fn, req.Plain.Payload, false, ref)
 	}
 	select {
 	case <-p.Done():
@@ -368,7 +379,7 @@ func (s *Server) execute(ctx context.Context, req *wire.Request, ref trace.SpanR
 		return wire.StatusDeadlineExceeded, -1, []byte(ctx.Err().Error())
 	}
 	res, card, err := p.Wait()
-	s.addDispatchSpans(req, ref, p, res, card)
+	s.addDispatchSpans(req.Fn(), ref, p, res, card)
 	if err != nil {
 		return statusOf(err), int16(card), []byte(err.Error())
 	}
@@ -380,7 +391,7 @@ func (s *Server) execute(ctx context.Context, req *wire.Request, ref trace.SpanR
 // the job's whole residency (their durations sum to the time between
 // enqueue and the card finishing), plus one virtual child per card
 // phase from the call's breakdown. No-op for unsampled requests.
-func (s *Server) addDispatchSpans(req *wire.Request, ref trace.SpanRef, p *cluster.Pending, res *core.CallResult, card int) {
+func (s *Server) addDispatchSpans(fn uint16, ref trace.SpanRef, p *cluster.Pending, res *core.CallResult, card int) {
 	if !ref.Valid() {
 		return
 	}
@@ -389,11 +400,11 @@ func (s *Server) addDispatchSpans(req *wire.Request, ref trace.SpanRef, p *clust
 		return // never reached a worker (routing or enqueue failure)
 	}
 	s.opts.Tracer.Add(ref, trace.Span{
-		Name: "queue-wait", Layer: "cluster", Fn: req.Fn, Card: card,
+		Name: "queue-wait", Layer: "cluster", Fn: fn, Card: card,
 		StartNS: sub, DurNS: st - sub,
 	})
 	sref := s.opts.Tracer.Add(ref, trace.Span{
-		Name: "service", Layer: "cluster", Fn: req.Fn, Card: card,
+		Name: "service", Layer: "cluster", Fn: fn, Card: card,
 		StartNS: st, DurNS: dn - st,
 	})
 	if res == nil {
@@ -402,7 +413,7 @@ func (s *Server) addDispatchSpans(req *wire.Request, ref trace.SpanRef, p *clust
 	for ph := 0; ph < sim.NumPhases; ph++ {
 		if d := res.Breakdown.Get(sim.Phase(ph)); d > 0 {
 			s.opts.Tracer.Add(sref, trace.Span{
-				Name: sim.Phase(ph).String(), Layer: "card", Fn: req.Fn, Card: card,
+				Name: sim.Phase(ph).String(), Layer: "card", Fn: fn, Card: card,
 				VirtPS: uint64(d),
 			})
 		}
@@ -418,6 +429,8 @@ func statusOf(err error) wire.Status {
 		return wire.StatusResourceExhausted
 	case errors.Is(err, cluster.ErrStopped):
 		return wire.StatusUnavailable
+	case errors.Is(err, cluster.ErrChainSplit):
+		return wire.StatusInvalidArgument
 	case errors.Is(err, context.DeadlineExceeded):
 		return wire.StatusDeadlineExceeded
 	case errors.Is(err, context.Canceled):
@@ -431,14 +444,14 @@ func statusOf(err error) wire.Status {
 // and trace sinks. Server latency is wall-clock — the network edge has
 // no virtual clock — stored in the same picosecond unit the virtual
 // histograms use.
-func (s *Server) observe(req *wire.Request, st wire.Status, card int16, elapsed time.Duration) {
-	s.observeTraced(req, st, card, elapsed, 0)
+func (s *Server) observe(id uint64, fn uint16, st wire.Status, card int16, elapsed time.Duration) {
+	s.observeTraced(id, fn, st, card, elapsed, 0)
 }
 
 // observeTraced is observe with a trace-id exemplar: a sampled
 // request stamps its trace id onto the latency histogram, linking the
 // aggregate back to the concrete trace in /debug/traces.
-func (s *Server) observeTraced(req *wire.Request, st wire.Status, card int16, elapsed time.Duration, traceID uint64) {
+func (s *Server) observeTraced(id uint64, fn uint16, st wire.Status, card int16, elapsed time.Duration, traceID uint64) {
 	if s.opts.Metrics != nil {
 		lbl := metrics.L("status", st.String())
 		s.opts.Metrics.Counter("agile_server_requests_total", lbl).Inc()
@@ -449,9 +462,9 @@ func (s *Server) observeTraced(req *wire.Request, st wire.Status, card int16, el
 	}
 	s.opts.Trace.Record(trace.Event{
 		Kind:   trace.KindSpan,
-		Fn:     req.Fn,
+		Fn:     fn,
 		Card:   int(card),
-		Detail: fmt.Sprintf("rpc req=%d status=%s", req.ID, st),
+		Detail: fmt.Sprintf("rpc req=%d status=%s", id, st),
 		DurPS:  uint64(elapsed.Nanoseconds()) * 1000,
 	})
 }

@@ -1,0 +1,269 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// The chain verb (DESIGN §15): a TypeChain frame asks the server to run
+// a whole stage list as one on-card dataflow chain, shipping the input
+// once and collecting only the final output. The frame is gated the
+// same way trace context is — an old peer that only understands
+// TypeRequest rejects a chain frame with ErrBadType and answers nothing
+// it would misinterpret — and the trace-context extension composes: a
+// traced chain frame is VersionTraced with the 17-byte context between
+// the payload-length field and the stage list.
+//
+// A chain frame's type-specific header is
+//
+//	uint64   request id
+//	uint8    stage count (2..MaxChainStages)
+//	uint64   relative deadline (ns, 0 = none)
+//	uint32   payload length
+//	[17]byte trace context (VersionTraced only)
+//	[]uint16 stage function ids (big-endian, stage-count entries)
+//	[]byte   payload
+//
+// Responses to chain requests are ordinary TypeResponse frames.
+
+// MaxChainStages bounds a chain frame's stage list. It mirrors
+// mcu.MaxChainStages (wire cannot import mcu), so any frame that
+// decodes names a chain the card could execute.
+const MaxChainStages = 8
+
+// ErrBadChain rejects a chain frame whose stage count is outside
+// [2, MaxChainStages] — including an empty stage list and an oversized
+// one, both of which a canonical encoder can never emit.
+var ErrBadChain = errors.New("wire: chain stage count out of range")
+
+// chainHeaderBase counts the fixed header bytes of an untraced chain
+// frame: magic ver type id nstages deadline paylen.
+const chainHeaderBase = 2 + 1 + 1 + 8 + 1 + 8 + 4
+
+// chainHeaderMax is the largest header any chain frame can carry.
+const chainHeaderMax = chainHeaderBase + TraceContextLen + 2*MaxChainStages
+
+// TypeChain is the chain-request frame type. (3; TypeRequest and
+// TypeResponse are 1 and 2.)
+const TypeChain = 3
+
+// ChainRequest is one chained call: run the Stages in order over
+// Payload as an on-card dataflow chain. ID, Deadline and Trace behave
+// exactly as on Request.
+type ChainRequest struct {
+	ID       uint64
+	Stages   []uint16
+	Deadline time.Duration
+	Payload  []byte
+	Trace    TraceContext
+}
+
+// AppendChainRequest appends req's canonical encoding to dst: a Version
+// frame when req.Trace is absent, VersionTraced otherwise.
+func AppendChainRequest(dst []byte, req *ChainRequest) []byte {
+	headerLen, version := chainHeaderBase, byte(Version)
+	if req.Trace.Valid() {
+		headerLen, version = chainHeaderBase+TraceContextLen, byte(VersionTraced)
+	}
+	headerLen += 2 * len(req.Stages)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerLen+len(req.Payload)))
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, version, TypeChain)
+	dst = binary.BigEndian.AppendUint64(dst, req.ID)
+	dst = append(dst, byte(len(req.Stages)))
+	dl := req.Deadline
+	if dl < 0 {
+		dl = 0
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(dl.Nanoseconds()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Payload)))
+	if req.Trace.Valid() {
+		dst = binary.BigEndian.AppendUint64(dst, req.Trace.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, req.Trace.SpanID)
+		dst = append(dst, req.Trace.Flags&traceFlagsMask)
+	}
+	for _, fn := range req.Stages {
+		dst = binary.BigEndian.AppendUint16(dst, fn)
+	}
+	return append(dst, req.Payload...)
+}
+
+// DecodeChainRequestInto decodes one chain frame from the front of b
+// into *req without copying: req.Payload aliases b (req.Stages is
+// decoded out, it cannot alias big-endian bytes). It returns the bytes
+// consumed. Decoding is strict like the other decoders: any frame a
+// canonical encoder could not have produced is rejected.
+func DecodeChainRequestInto(req *ChainRequest, b []byte) (int, error) {
+	if len(b) < lenPrefix {
+		return 0, ErrTruncated
+	}
+	frameLen := int(binary.BigEndian.Uint32(b))
+	if frameLen > chainHeaderMax+MaxPayload {
+		return 0, ErrOversized
+	}
+	if frameLen < chainHeaderBase || len(b)-lenPrefix < frameLen {
+		return 0, ErrTruncated
+	}
+	body := b[lenPrefix : lenPrefix+frameLen]
+	if binary.BigEndian.Uint16(body) != Magic {
+		return 0, ErrBadMagic
+	}
+	traced := false
+	switch body[2] {
+	case Version:
+	case VersionTraced:
+		traced = true
+	default:
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, body[2], Version)
+	}
+	if body[3] != TypeChain {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadType, body[3], TypeChain)
+	}
+	nstages := int(body[12])
+	if nstages < 2 || nstages > MaxChainStages {
+		return 0, fmt.Errorf("%w: %d stages", ErrBadChain, nstages)
+	}
+	headerLen := chainHeaderBase + 2*nstages
+	if traced {
+		headerLen += TraceContextLen
+	}
+	if frameLen < headerLen {
+		return 0, ErrTruncated
+	}
+	payLen := int(binary.BigEndian.Uint32(body[21:25]))
+	if payLen != len(body)-headerLen {
+		return 0, fmt.Errorf("%w: header says %d, frame carries %d",
+			ErrLengthMismatch, payLen, len(body)-headerLen)
+	}
+	dlNs := binary.BigEndian.Uint64(body[13:21])
+	if dlNs > math.MaxInt64 {
+		return 0, ErrBadDeadline
+	}
+	off := chainHeaderBase
+	if traced {
+		req.Trace.TraceID = binary.BigEndian.Uint64(body[25:33])
+		req.Trace.SpanID = binary.BigEndian.Uint64(body[33:41])
+		req.Trace.Flags = body[41]
+		if !req.Trace.Valid() || req.Trace.Flags&^uint8(traceFlagsMask) != 0 {
+			return 0, ErrBadTraceContext
+		}
+		off += TraceContextLen
+	} else {
+		req.Trace = TraceContext{}
+	}
+	if cap(req.Stages) < nstages {
+		req.Stages = make([]uint16, nstages)
+	}
+	req.Stages = req.Stages[:nstages]
+	for i := 0; i < nstages; i++ {
+		req.Stages[i] = binary.BigEndian.Uint16(body[off+2*i:])
+	}
+	req.ID = binary.BigEndian.Uint64(body[4:12])
+	req.Deadline = time.Duration(dlNs)
+	req.Payload = body[headerLen:]
+	return lenPrefix + len(body), nil
+}
+
+// DecodeChainRequest decodes one chain frame from the front of b,
+// returning the bytes consumed. The payload is copied out of b, so the
+// request owns its memory.
+func DecodeChainRequest(b []byte) (*ChainRequest, int, error) {
+	var req ChainRequest
+	n, err := DecodeChainRequestInto(&req, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Payload = append([]byte(nil), req.Payload...)
+	return &req, n, nil
+}
+
+// WriteChainRequest writes req to w as a single Write call.
+func WriteChainRequest(w io.Writer, req *ChainRequest) error {
+	if len(req.Payload) > MaxPayload {
+		return ErrOversized
+	}
+	if len(req.Stages) < 2 || len(req.Stages) > MaxChainStages {
+		return fmt.Errorf("%w: %d stages", ErrBadChain, len(req.Stages))
+	}
+	bp := getBuf(lenPrefix + chainHeaderMax + len(req.Payload))
+	*bp = AppendChainRequest(*bp, req)
+	_, err := w.Write(*bp)
+	putBuf(bp)
+	return err
+}
+
+// AnyRequest is the result of a combined server-side read: exactly one
+// of Plain/Chain semantics applies, discriminated by IsChain. The
+// payloads of both views alias the frame buffer the read returned.
+type AnyRequest struct {
+	IsChain bool
+	Plain   Request
+	Chain   ChainRequest
+}
+
+// ID reports the request id regardless of kind.
+func (a *AnyRequest) ID() uint64 {
+	if a.IsChain {
+		return a.Chain.ID
+	}
+	return a.Plain.ID
+}
+
+// Fn reports the function the request names — stage 0 for a chain —
+// the id metrics and trace spans label the request with.
+func (a *AnyRequest) Fn() uint16 {
+	if a.IsChain {
+		if len(a.Chain.Stages) == 0 {
+			return 0
+		}
+		return a.Chain.Stages[0]
+	}
+	return a.Plain.Fn
+}
+
+// Deadline reports the relative deadline regardless of kind.
+func (a *AnyRequest) Deadline() time.Duration {
+	if a.IsChain {
+		return a.Chain.Deadline
+	}
+	return a.Plain.Deadline
+}
+
+// Trace reports the trace context regardless of kind.
+func (a *AnyRequest) TraceContext() TraceContext {
+	if a.IsChain {
+		return a.Chain.Trace
+	}
+	return a.Plain.Trace
+}
+
+// ReadAnyRequestFrame reads one frame from r and decodes it as either a
+// plain request or a chain request, discriminating on the frame's type
+// byte — the server's combined read path. Zero-copy like
+// ReadRequestFrame: the decoded payload aliases the returned Frame
+// until Release.
+func ReadAnyRequestFrame(r io.Reader, req *AnyRequest) (Frame, error) {
+	bp, err := readFrame(r, requestHeaderLen, chainHeaderMax)
+	if err != nil {
+		return Frame{}, err
+	}
+	b := *bp
+	// The frame type sits right after the 4-byte prefix and 2-byte magic
+	// + 1-byte version; readFrame guarantees at least requestHeaderLen
+	// body bytes, so the peek is in bounds.
+	req.IsChain = b[lenPrefix+3] == TypeChain
+	if req.IsChain {
+		if _, err := DecodeChainRequestInto(&req.Chain, b); err != nil {
+			putBuf(bp)
+			return Frame{}, err
+		}
+	} else if _, err := DecodeRequestInto(&req.Plain, b); err != nil {
+		putBuf(bp)
+		return Frame{}, err
+	}
+	return Frame{bp: bp}, nil
+}

@@ -168,5 +168,26 @@ func (c *NetClient) CallID(ctx context.Context, fn uint16, input []byte) ([]byte
 	return c.c.Call(ctx, fn, input)
 }
 
+// CallChain executes the named bank functions remotely as one on-card
+// dataflow chain: the input crosses the network and the card's PCI
+// link once, intermediate results stay in card RAM, and the final
+// stage's output comes back. Deadlines and retries behave as in Call.
+func (c *NetClient) CallChain(ctx context.Context, names []string, input []byte) ([]byte, int, error) {
+	stages := make([]uint16, len(names))
+	for i, name := range names {
+		f, err := algos.ByName(name)
+		if err != nil {
+			return nil, -1, err
+		}
+		stages[i] = f.ID()
+	}
+	return c.c.CallChain(ctx, stages, input)
+}
+
+// CallChainID is CallChain by function ids, skipping the name lookups.
+func (c *NetClient) CallChainID(ctx context.Context, stages []uint16, input []byte) ([]byte, int, error) {
+	return c.c.CallChain(ctx, stages, input)
+}
+
 // Close closes pooled connections; in-flight calls finish first.
 func (c *NetClient) Close() error { return c.c.Close() }
